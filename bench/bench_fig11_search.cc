@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fig. 11 (Q3): how to combine rewriting and resynthesis — GUOQ's
+ * tight random interleaving vs (1) rewrite-half-then-resynth-half,
+ * (2) resynth-half-then-rewrite-half, and (3) GUOQ-BEAM (MaxBeam over
+ * the same transformation set). ibmq20, 2q reduction.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace guoq;
+using namespace guoq::bench;
+
+namespace {
+
+/** Half the budget in one mode, then the rest in the other. */
+ir::Circuit
+sequential(const ir::Circuit &c, ir::GateSetKind set, double budget,
+           std::uint64_t seed, core::TransformSelection first,
+           core::TransformSelection second)
+{
+    core::GuoqConfig cfg;
+    cfg.epsilonTotal = 1e-5 / 2;
+    cfg.timeBudgetSeconds = budget / 2;
+    cfg.seed = seed;
+    cfg.objective = core::Objective::TwoQubitCount;
+    cfg.selection = first;
+    if (first == core::TransformSelection::RewriteOnly)
+        cfg.epsilonTotal = 0;
+    const ir::Circuit mid = core::optimize(c, set, cfg).best;
+    cfg.selection = second;
+    cfg.epsilonTotal = second == core::TransformSelection::RewriteOnly
+                           ? 0.0
+                           : 1e-5 / 2;
+    cfg.seed = seed + 1;
+    return core::optimize(mid, set, cfg).best;
+}
+
+} // namespace
+
+int
+main()
+{
+    const ir::GateSetKind set = ir::GateSetKind::Ibmq20;
+    const double budget = guoqBudget(4.0);
+    const auto suite = benchSuiteFor(set, suiteCap(10));
+
+    std::printf("=== Fig. 11 (Q3): search algorithm comparison "
+                "(ibmq20, 2q reduction) ===\n\n");
+
+    const std::vector<Tool> tools{
+        {"seq-rw-rs", [set, budget](const ir::Circuit &c,
+                                    std::uint64_t seed) {
+             return sequential(c, set, budget, seed,
+                               core::TransformSelection::RewriteOnly,
+                               core::TransformSelection::ResynthOnly);
+         }},
+        {"seq-rs-rw", [set, budget](const ir::Circuit &c,
+                                    std::uint64_t seed) {
+             return sequential(c, set, budget, seed,
+                               core::TransformSelection::ResynthOnly,
+                               core::TransformSelection::RewriteOnly);
+         }},
+        {"guoq-beam", [set, budget](const ir::Circuit &c,
+                                    std::uint64_t seed) {
+             baselines::BeamOptions o;
+             o.objective = core::Objective::TwoQubitCount;
+             o.epsilonTotal = 1e-5;
+             o.timeBudgetSeconds = budget;
+             o.beamWidth = 64;
+             o.seed = seed;
+             return baselines::beamSearchOptimize(c, set, o).best;
+         }},
+    };
+
+    Comparison cmp;
+    cmp.metricName = "2q gate reduction";
+    cmp.metric = [](const ir::Circuit &before, const ir::Circuit &after) {
+        return reduction(before.twoQubitGateCount(),
+                         after.twoQubitGateCount());
+    };
+    runComparison(
+        suite,
+        [set, budget](const ir::Circuit &c, std::uint64_t seed) {
+            return runGuoq(c, set, budget, seed,
+                           core::Objective::TwoQubitCount);
+        },
+        tools, cmp);
+
+    std::printf("shape check: tight interleaving (guoq) beats both "
+                "coarse sequential orders and the beam.\n");
+    return 0;
+}

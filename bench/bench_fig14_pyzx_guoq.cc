@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 14 (Q4): running GUOQ on the PyZX stand-in's output — the
+ * ZX-style pass drains T count but never touches CX; GUOQ then cuts
+ * CX without increasing T (the 2·#T + #CX objective forbids trades
+ * that raise T). Reports T and CX at each pipeline stage.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace guoq;
+using namespace guoq::bench;
+
+int
+main()
+{
+    const ir::GateSetKind set = ir::GateSetKind::CliffordT;
+    const double budget = guoqBudget(4.0);
+    const auto suite = benchSuiteFor(set, suiteCap(12));
+
+    std::printf("=== Fig. 14: GUOQ on PyZX output (clifford+t) ===\n\n");
+
+    support::TextTable table({"benchmark", "T in", "T pyzx", "T +guoq",
+                              "CX in", "CX pyzx", "CX +guoq"});
+    int t_never_increased = 0;
+    int cx_reduced = 0;
+    double cx_red_sum = 0;
+    for (const workloads::Benchmark &b : suite) {
+        const ir::Circuit zx = baselines::phasePolyOptimize(b.circuit, set);
+        core::GuoqConfig cfg;
+        cfg.epsilonTotal = 1e-5;
+        cfg.timeBudgetSeconds = budget;
+        cfg.seed = support::benchSeed();
+        cfg.objective = core::Objective::TThenTwoQubit;
+        const ir::Circuit out = core::optimize(zx, set, cfg).best;
+
+        table.addRow({b.name, std::to_string(b.circuit.tGateCount()),
+                      std::to_string(zx.tGateCount()),
+                      std::to_string(out.tGateCount()),
+                      std::to_string(b.circuit.twoQubitGateCount()),
+                      std::to_string(zx.twoQubitGateCount()),
+                      std::to_string(out.twoQubitGateCount())});
+        if (out.tGateCount() <= zx.tGateCount())
+            ++t_never_increased;
+        if (out.twoQubitGateCount() < zx.twoQubitGateCount())
+            ++cx_reduced;
+        cx_red_sum += reduction(zx.twoQubitGateCount(),
+                                out.twoQubitGateCount());
+    }
+    table.print();
+
+    std::printf("\nT count non-increasing after guoq: %d/%zu\n",
+                t_never_increased, suite.size());
+    std::printf("CX reduced on pyzx output: %d/%zu (avg CX reduction "
+                "%s)\n",
+                cx_reduced, suite.size(),
+                support::fmtPct(cx_red_sum /
+                                static_cast<double>(suite.size()))
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fig. 1 (and Table 3): GUOQ vs the seven state-of-the-art optimizers
+ * on the ibmq20 gate set, 2-qubit-gate reduction, approximate tools
+ * allowed ε. Prints the per-benchmark table, the better/match/worse
+ * bars of Fig. 1, and the Table 3 taxonomy of the implemented
+ * baselines.
+ *
+ * Tool stand-ins (see DESIGN.md): Qiskit/tket/VOQC → fixed-sequence
+ * pass pipelines; BQSKit → partition+resynthesize; QUESO/Quartz →
+ * MaxBeam over exact rewrites (different beam widths); Quarl →
+ * ε-greedy one-step-lookahead policy.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace guoq;
+using namespace guoq::bench;
+
+int
+main()
+{
+    const ir::GateSetKind set = ir::GateSetKind::Ibmq20;
+    const double budget = guoqBudget(3.0);
+    const core::Objective obj = core::Objective::TwoQubitCount;
+
+    std::printf("=== Table 3: implemented optimizer taxonomy ===\n\n");
+    support::TextTable tax({"tool", "superoptimizer", "approach"});
+    tax.addRow({"qiskit-like", "no", "fixed sequence of passes"});
+    tax.addRow({"tket-like", "no", "fixed sequence of passes"});
+    tax.addRow({"voqc-like", "no", "fixed sequence of passes"});
+    tax.addRow({"bqskit-like", "yes", "partition + resynthesize"});
+    tax.addRow({"queso-like", "yes", "beam search + rewrite rules"});
+    tax.addRow({"quartz-like", "yes", "beam search + rewrite rules"});
+    tax.addRow({"quarl-like", "yes", "greedy policy + rewrite rules"});
+    tax.print();
+
+    std::printf("\n=== Fig. 1: GUOQ vs state-of-the-art "
+                "(ibmq20, 2q reduction, eps allowed) ===\n\n");
+
+    const auto suite =
+        benchSuiteFor(set, suiteCap(12));
+
+    auto beamTool = [set, obj, budget](std::size_t width) {
+        return [set, obj, budget, width](const ir::Circuit &c,
+                                         std::uint64_t seed) {
+            baselines::BeamOptions o;
+            o.objective = obj;
+            o.epsilonTotal = 0; // QUESO/Quartz are exact
+            o.timeBudgetSeconds = budget;
+            o.beamWidth = width;
+            o.seed = seed;
+            return baselines::beamSearchOptimize(c, set, o).best;
+        };
+    };
+
+    const std::vector<Tool> tools{
+        {"qiskit", [set](const ir::Circuit &c, std::uint64_t) {
+             return baselines::qiskitLikeOptimize(c, set);
+         }},
+        {"tket", [set](const ir::Circuit &c, std::uint64_t) {
+             return baselines::tketLikeOptimize(c, set);
+         }},
+        {"voqc", [set](const ir::Circuit &c, std::uint64_t) {
+             return baselines::voqcLikeOptimize(c, set);
+         }},
+        {"bqskit", [set, obj, budget](const ir::Circuit &c,
+                                      std::uint64_t seed) {
+             return baselines::partitionResynth(c, set, obj, 1e-5,
+                                                budget, seed)
+                 .circuit;
+         }},
+        {"queso", beamTool(32)},
+        {"quartz", beamTool(128)},
+        {"quarl", [set, obj, budget](const ir::Circuit &c,
+                                     std::uint64_t seed) {
+             baselines::RlLikeOptions o;
+             o.objective = obj;
+             o.timeBudgetSeconds = budget;
+             o.seed = seed;
+             return baselines::rlLikeOptimize(c, set, o);
+         }},
+    };
+
+    Comparison cmp;
+    cmp.metricName = "2q gate reduction";
+    cmp.metric = [](const ir::Circuit &before, const ir::Circuit &after) {
+        return reduction(before.twoQubitGateCount(),
+                         after.twoQubitGateCount());
+    };
+
+    runComparison(
+        suite,
+        [set, obj, budget](const ir::Circuit &c, std::uint64_t seed) {
+            return runGuoq(c, set, budget, seed, obj);
+        },
+        tools, cmp);
+    return 0;
+}

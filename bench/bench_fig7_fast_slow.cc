@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 7: best-so-far 2q gate count over time for (1) rewrite rules
+ * only, (2) resynthesis only, and (3) both combined, on the
+ * barenco_tof and qft families — the motivating example of the
+ * fast/slow synergy. Prints the three time series per circuit.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "transpile/to_gate_set.h"
+#include "workloads/standard.h"
+
+using namespace guoq;
+using namespace guoq::bench;
+
+namespace {
+
+void
+runSeries(const char *name, const ir::Circuit &c, ir::GateSetKind set,
+          double budget)
+{
+    struct Mode
+    {
+        const char *label;
+        core::TransformSelection selection;
+    };
+    const Mode modes[] = {
+        {"combined", core::TransformSelection::Combined},
+        {"rewrite-only", core::TransformSelection::RewriteOnly},
+        {"resynth-only", core::TransformSelection::ResynthOnly},
+    };
+
+    std::printf("--- %s (%zu gates, %zu 2q) ---\n", name, c.size(),
+                c.twoQubitGateCount());
+    for (const Mode &mode : modes) {
+        core::GuoqConfig cfg;
+        cfg.epsilonTotal = 1e-5;
+        cfg.timeBudgetSeconds = budget;
+        cfg.seed = support::benchSeed();
+        cfg.selection = mode.selection;
+        cfg.recordTrace = true;
+        const core::GuoqResult r = core::optimize(c, set, cfg);
+        std::printf("%-13s:", mode.label);
+        for (const core::TracePoint &p : r.trace)
+            std::printf(" %.1fs:%zu", p.seconds, p.twoQubitCount);
+        std::printf("  (final %zu)\n", r.best.twoQubitGateCount());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Fig. 7: fast vs slow vs combined (best-so-far 2q "
+                "count over time) ===\n\n");
+    const double budget = guoqBudget(8.0);
+
+    const ir::GateSetKind set = ir::GateSetKind::Ibmq20;
+    runSeries("barenco_tof_4",
+              transpile::toGateSet(workloads::barencoTof(4), set), set,
+              budget);
+    runSeries("qft_6", transpile::toGateSet(workloads::qft(6), set), set,
+              budget);
+    std::printf("shape check: rewrite-only plateaus early; "
+                "resynth-only moves slowly; combined reaches the "
+                "lowest count.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig. 8: GUOQ vs Qiskit / tket / BQSKit / Quartz / Quarl stand-ins on
+ * the ibm-eagle gate set — both metrics of the figure: 2-qubit-gate
+ * reduction (top row) and circuit fidelity (bottom row).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace guoq;
+using namespace guoq::bench;
+
+int
+main()
+{
+    const ir::GateSetKind set = ir::GateSetKind::IbmEagle;
+    const double budget = guoqBudget(3.0);
+    const core::Objective obj = core::Objective::TwoQubitCount;
+    const auto suite = benchSuiteFor(set, suiteCap(12));
+    const fidelity::ErrorModel &model = fidelity::errorModelFor(set);
+
+    const std::vector<Tool> tools{
+        {"qiskit", [set](const ir::Circuit &c, std::uint64_t) {
+             return baselines::qiskitLikeOptimize(c, set);
+         }},
+        {"tket", [set](const ir::Circuit &c, std::uint64_t) {
+             return baselines::tketLikeOptimize(c, set);
+         }},
+        {"bqskit", [set, obj, budget](const ir::Circuit &c,
+                                      std::uint64_t seed) {
+             return baselines::partitionResynth(c, set, obj, 1e-5,
+                                                budget, seed)
+                 .circuit;
+         }},
+        {"quartz", [set, obj, budget](const ir::Circuit &c,
+                                      std::uint64_t seed) {
+             baselines::BeamOptions o;
+             o.objective = obj;
+             o.epsilonTotal = 0;
+             o.timeBudgetSeconds = budget;
+             o.beamWidth = 128;
+             o.seed = seed;
+             return baselines::beamSearchOptimize(c, set, o).best;
+         }},
+        {"quarl", [set, obj, budget](const ir::Circuit &c,
+                                     std::uint64_t seed) {
+             baselines::RlLikeOptions o;
+             o.objective = obj;
+             o.timeBudgetSeconds = budget;
+             o.seed = seed;
+             return baselines::rlLikeOptimize(c, set, o);
+         }},
+    };
+
+    auto guoq_run = [set, obj, budget](const ir::Circuit &c,
+                                       std::uint64_t seed) {
+        return runGuoq(c, set, budget, seed, obj);
+    };
+
+    std::printf("=== Fig. 8 (top): 2q gate reduction, ibm-eagle ===\n\n");
+    Comparison twoq;
+    twoq.metricName = "2q gate reduction";
+    twoq.metric = [](const ir::Circuit &before, const ir::Circuit &after) {
+        return reduction(before.twoQubitGateCount(),
+                         after.twoQubitGateCount());
+    };
+    runComparison(suite, guoq_run, tools, twoq);
+
+    std::printf("=== Fig. 8 (bottom): circuit fidelity, ibm-eagle ===\n\n");
+    Comparison fid;
+    fid.metricName = "fidelity";
+    fid.metric = [&model](const ir::Circuit &, const ir::Circuit &after) {
+        return model.circuitFidelity(after);
+    };
+    runComparison(suite, guoq_run, tools, fid);
+    return 0;
+}

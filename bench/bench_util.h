@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Shared harness pieces for the per-figure benchmark binaries: tool
+ * runners, reduction metrics, the better/match/worse bar summaries of
+ * the paper's plots, and budget scaling via GUOQ_BENCH_SCALE.
+ *
+ * The paper gives every tool 1 CPU-hour per circuit; these harnesses
+ * default to seconds-scale budgets so a full regeneration finishes in
+ * minutes. Set GUOQ_BENCH_SCALE=N to multiply every search budget.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/beam_search.h"
+#include "baselines/fixed_sequence.h"
+#include "baselines/partition_resynth.h"
+#include "baselines/phase_poly.h"
+#include "baselines/rl_like.h"
+#include "core/guoq.h"
+#include "fidelity/error_model.h"
+#include "support/options.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "workloads/suite.h"
+
+namespace guoq {
+namespace bench {
+
+/** A tool entry: name plus a circuit optimizer closure. */
+struct Tool
+{
+    std::string name;
+    std::function<ir::Circuit(const ir::Circuit &, std::uint64_t seed)>
+        run;
+};
+
+/** 1 - after/before (the paper's gate-reduction metric). */
+inline double
+reduction(std::size_t before, std::size_t after)
+{
+    if (before == 0)
+        return 0;
+    return 1.0 - static_cast<double>(after) /
+                     static_cast<double>(before);
+}
+
+/** GUOQ with the benchmark-standard configuration. */
+inline ir::Circuit
+runGuoq(const ir::Circuit &c, ir::GateSetKind set, double seconds,
+        std::uint64_t seed, core::Objective objective,
+        core::TransformSelection selection =
+            core::TransformSelection::Combined,
+        double epsilon = 1e-5)
+{
+    core::GuoqConfig cfg;
+    cfg.epsilonTotal = epsilon;
+    cfg.timeBudgetSeconds = seconds;
+    cfg.seed = seed;
+    cfg.objective = objective;
+    cfg.selection = selection;
+    return core::optimize(c, set, cfg).best;
+}
+
+/** The default per-circuit GUOQ budget (seconds), after scaling. */
+inline double
+guoqBudget(double base = 4.0)
+{
+    return base * support::benchScale();
+}
+
+/**
+ * Head-to-head comparison on a suite: runs GUOQ and each tool on every
+ * benchmark, prints the per-benchmark table plus the paper-style
+ * better/match/worse bar per tool. @p metric maps a circuit to the
+ * quantity being maximized (e.g. 2q reduction vs the original).
+ */
+struct Comparison
+{
+    std::string metricName;
+    std::function<double(const ir::Circuit &before,
+                         const ir::Circuit &after)>
+        metric;
+};
+
+inline void
+runComparison(const std::vector<workloads::Benchmark> &suite,
+              const std::function<ir::Circuit(const ir::Circuit &,
+                                              std::uint64_t)> &guoq_run,
+              const std::vector<Tool> &tools, const Comparison &cmp)
+{
+    std::vector<std::string> headers{"benchmark", "gates", "guoq"};
+    for (const Tool &t : tools)
+        headers.push_back(t.name);
+    support::TextTable table(std::move(headers));
+
+    std::vector<support::CompareCounts> counts(tools.size());
+    std::vector<double> guoq_sum(1, 0.0);
+    std::vector<double> tool_sum(tools.size(), 0.0);
+
+    const std::uint64_t seed = support::benchSeed();
+    for (const workloads::Benchmark &b : suite) {
+        const ir::Circuit guoq_out = guoq_run(b.circuit, seed);
+        const double guoq_metric = cmp.metric(b.circuit, guoq_out);
+        guoq_sum[0] += guoq_metric;
+        std::vector<std::string> row{
+            b.name, std::to_string(b.circuit.size()),
+            support::fmtPct(guoq_metric)};
+        for (std::size_t t = 0; t < tools.size(); ++t) {
+            const ir::Circuit out = tools[t].run(b.circuit, seed);
+            const double m = cmp.metric(b.circuit, out);
+            tool_sum[t] += m;
+            counts[t].add(support::compareMeans(guoq_metric, m, 1e-6));
+            row.push_back(support::fmtPct(m));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+
+    const double n = static_cast<double>(suite.size());
+    std::printf("\n%s, GUOQ vs each tool "
+                "(better/match/worse out of %zu):\n",
+                cmp.metricName.c_str(), suite.size());
+    for (std::size_t t = 0; t < tools.size(); ++t) {
+        std::printf("  %-14s %3d / %3d / %3d   "
+                    "(avg: guoq %s vs %s)\n",
+                    tools[t].name.c_str(), counts[t].better,
+                    counts[t].match, counts[t].worse,
+                    support::fmtPct(guoq_sum[0] / n).c_str(),
+                    support::fmtPct(tool_sum[t] / n).c_str());
+    }
+    std::printf("\n");
+}
+
+/** Suite size used by the harnesses (scaled down for quick runs). */
+inline int
+suiteCap(int base)
+{
+    const double scale = support::benchScale();
+    if (scale >= 4)
+        return 1 << 20; // full suite
+    return base;
+}
+
+/**
+ * The harness suite: suiteFor(@p set) filtered to circuits with
+ * enough gates to have optimization slack (tiny GHZ-scale circuits
+ * only produce ties), family-diverse, capped at @p cap entries.
+ */
+inline std::vector<workloads::Benchmark>
+benchSuiteFor(ir::GateSetKind set, int cap,
+              std::size_t min_gates = 30)
+{
+    std::vector<workloads::Benchmark> full = workloads::suiteFor(set);
+    std::vector<workloads::Benchmark> sized;
+    for (workloads::Benchmark &b : full)
+        if (b.circuit.size() >= min_gates)
+            sized.push_back(std::move(b));
+    std::stable_sort(sized.begin(), sized.end(),
+                     [](const workloads::Benchmark &a,
+                        const workloads::Benchmark &b) {
+                         return a.circuit.size() < b.circuit.size();
+                     });
+    // Family round-robin so a truncated panel stays diverse; each
+    // benchmark is taken at most once.
+    std::vector<bool> used(sized.size(), false);
+    std::vector<workloads::Benchmark> out;
+    bool any = true;
+    while (any && static_cast<int>(out.size()) < cap) {
+        any = false;
+        std::set<std::string> this_round;
+        for (std::size_t i = 0;
+             i < sized.size() && static_cast<int>(out.size()) < cap;
+             ++i) {
+            if (used[i] || this_round.count(sized[i].family))
+                continue;
+            used[i] = true;
+            this_round.insert(sized[i].family);
+            out.push_back(sized[i]);
+            any = true;
+        }
+    }
+    return out;
+}
+
+} // namespace bench
+} // namespace guoq

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * GUOQ-BEAM: the QUESO MaxBeam search algorithm instantiated over our
+ * transformation framework (paper Q3).
+ *
+ * Maintains a bounded priority queue of candidate circuits; each
+ * iteration pops the best candidate and applies *every* transformation
+ * to it, pushing all distinct results. The paper finds this saturates
+ * the queue with near-identical candidates and loses to GUOQ's
+ * single-candidate randomized walk — this implementation exists to
+ * reproduce that comparison (Fig. 11).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost.h"
+#include "core/framework.h"
+#include "ir/circuit.h"
+
+namespace guoq {
+namespace baselines {
+
+/** Options for beamSearchOptimize(). */
+struct BeamOptions
+{
+    core::Objective objective = core::Objective::TwoQubitCount;
+    double epsilonTotal = 0;     //!< ε_f (approximate moves disabled at 0)
+    double timeBudgetSeconds = 10;
+    std::size_t beamWidth = 64;  //!< bounded queue capacity
+    std::uint64_t seed = 1;
+    long maxIterations = -1;     //!< optional cap for tests
+};
+
+/** Result of a beam run. */
+struct BeamResult
+{
+    ir::Circuit best;
+    double errorBound = 0;
+    long iterations = 0;
+    long candidatesGenerated = 0;
+    long candidatesPruned = 0;
+};
+
+/** Run MaxBeam over the transformation set of @p set. */
+BeamResult beamSearchOptimize(const ir::Circuit &c, ir::GateSetKind set,
+                              const BeamOptions &opts);
+
+} // namespace baselines
+} // namespace guoq

@@ -1,0 +1,38 @@
+#include "baselines/fixed_sequence.h"
+
+#include "baselines/passes.h"
+
+namespace guoq {
+namespace baselines {
+
+ir::Circuit
+qiskitLikeOptimize(const ir::Circuit &c, ir::GateSetKind set)
+{
+    ir::Circuit cur = c;
+    for (int round = 0; round < 2; ++round) {
+        cur = fusionPass(cur, set);
+        cur = reduceFixpoint(cur, set);
+    }
+    return cur;
+}
+
+ir::Circuit
+tketLikeOptimize(const ir::Circuit &c, ir::GateSetKind set)
+{
+    ir::Circuit cur = c;
+    for (int round = 0; round < 2; ++round) {
+        cur = commuteAndReduce(cur, set, 2);
+        cur = fusionPass(cur, set);
+        cur = reduceFixpoint(cur, set);
+    }
+    return cur;
+}
+
+ir::Circuit
+voqcLikeOptimize(const ir::Circuit &c, ir::GateSetKind set)
+{
+    return commuteAndReduce(c, set, 4);
+}
+
+} // namespace baselines
+} // namespace guoq

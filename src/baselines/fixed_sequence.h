@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fixed-sequence optimizer baselines — stand-ins for the "fixed
+ * sequence of passes" tools of Table 3 (Qiskit level 3, tket, VOQC).
+ *
+ * These are deterministic, fast, and run to completion well before any
+ * search budget: exactly the class GUOQ is compared against in Q1.
+ * Substitution note (DESIGN.md): we reimplement the *pass structure*
+ * of each tool over our own rule libraries rather than binding to the
+ * Python/OCaml originals; their observable profile — quick, local,
+ * exact optimization — is what the comparison exercises.
+ */
+
+#pragma once
+
+#include "ir/circuit.h"
+#include "ir/gate_set.h"
+
+namespace guoq {
+namespace baselines {
+
+/**
+ * Qiskit-O3 analogue: 1q fusion, then cancellation/merge fixpoint,
+ * repeated twice.
+ */
+ir::Circuit qiskitLikeOptimize(const ir::Circuit &c, ir::GateSetKind set);
+
+/**
+ * tket analogue: interleaves commutation sweeps with reductions and
+ * fusion (Clifford-aware squashing idiom), two outer rounds.
+ */
+ir::Circuit tketLikeOptimize(const ir::Circuit &c, ir::GateSetKind set);
+
+/**
+ * VOQC analogue: rotation-merging-centric — repeated commute+reduce
+ * rounds (no fusion), mirroring VOQC's verified Nam-style passes.
+ */
+ir::Circuit voqcLikeOptimize(const ir::Circuit &c, ir::GateSetKind set);
+
+} // namespace baselines
+} // namespace guoq

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The partition-and-resynthesize superoptimizer — the BQSKit/QUEST
+ * baseline of Table 3 and the "our implementation of a BQSKit-style
+ * partitioning optimizer" of Q4.
+ *
+ * One pass: partition the circuit into disjoint convex blocks of at
+ * most 3 qubits, resynthesize each block with an equal share of the
+ * error budget, and keep each block's result only when it improves the
+ * objective. Rigid by construction: optimizations that straddle block
+ * boundaries are invisible to it (the weakness GUOQ's free subcircuit
+ * choice removes).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost.h"
+#include "ir/circuit.h"
+#include "ir/gate_set.h"
+
+namespace guoq {
+namespace baselines {
+
+/** Result of a partition+resynthesize run. */
+struct PartitionResynthResult
+{
+    ir::Circuit circuit;
+    double errorSpent = 0;   //!< Σ measured block distances
+    int blocks = 0;
+    int blocksImproved = 0;
+};
+
+/**
+ * Run the one-pass partition+resynthesize optimizer.
+ * @param epsilon_total ε_f, divided equally across blocks.
+ * @param time_budget_seconds wall clock, divided across blocks.
+ */
+PartitionResynthResult partitionResynth(const ir::Circuit &c,
+                                        ir::GateSetKind set,
+                                        core::Objective objective,
+                                        double epsilon_total,
+                                        double time_budget_seconds,
+                                        std::uint64_t seed);
+
+} // namespace baselines
+} // namespace guoq

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Reusable optimizer passes — the building blocks the fixed-sequence
+ * baselines (Qiskit/tket/VOQC analogues, Table 3) are assembled from.
+ */
+
+#pragma once
+
+#include "ir/circuit.h"
+#include "ir/gate_set.h"
+
+namespace guoq {
+namespace baselines {
+
+/**
+ * Apply only the size-reducing rules of @p set's library to fixpoint
+ * (cancellations, merges, guarded drops).
+ */
+ir::Circuit reduceFixpoint(const ir::Circuit &c, ir::GateSetKind set);
+
+/**
+ * Alternate commutation sweeps with reduction fixpoints for
+ * @p rounds rounds — the "commute to expose cancellations" idiom of
+ * fixed-sequence optimizers. Never returns a worse circuit (by gate
+ * count) than the reduction fixpoint alone.
+ */
+ir::Circuit commuteAndReduce(const ir::Circuit &c, ir::GateSetKind set,
+                             int rounds);
+
+/** One 1q-fusion pass (no-op for Clifford+T). */
+ir::Circuit fusionPass(const ir::Circuit &c, ir::GateSetKind set);
+
+} // namespace baselines
+} // namespace guoq

@@ -1,0 +1,165 @@
+#include "baselines/phase_poly.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "transpile/decompose.h"
+
+namespace guoq {
+namespace baselines {
+
+namespace {
+
+using ir::Gate;
+using ir::GateKind;
+
+/** Diagonal 1q phase angle, or false when not a diagonal 1q gate. */
+bool
+diagonalAngle(const Gate &g, double *angle)
+{
+    switch (g.kind) {
+      case GateKind::T:   *angle = M_PI / 4; return true;
+      case GateKind::Tdg: *angle = -M_PI / 4; return true;
+      case GateKind::S:   *angle = M_PI / 2; return true;
+      case GateKind::Sdg: *angle = -M_PI / 2; return true;
+      case GateKind::Z:   *angle = M_PI; return true;
+      case GateKind::Rz:
+      case GateKind::U1:  *angle = g.params[0]; return true;
+      default: return false;
+    }
+}
+
+/** True for multi-qubit gates that are diagonal (parity-transparent). */
+bool
+isDiagonalMulti(GateKind k)
+{
+    return k == GateKind::CZ || k == GateKind::CP || k == GateKind::CCZ;
+}
+
+/** The F2-affine parity carried by one wire. */
+struct Parity
+{
+    std::vector<int> vars; //!< sorted variable ids
+    bool flipped = false;  //!< affine constant (X gates toggle it)
+};
+
+/** vars_a ^= vars_b as sorted symmetric difference. */
+std::vector<int>
+xorVars(const std::vector<int> &a, const std::vector<int> &b)
+{
+    std::vector<int> out;
+    std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                  std::back_inserter(out));
+    return out;
+}
+
+} // namespace
+
+ir::Circuit
+phasePolyOptimize(const ir::Circuit &c, ir::GateSetKind set,
+                  PhasePolyStats *stats)
+{
+    const int nq = c.numQubits();
+    std::vector<Parity> parity(static_cast<std::size_t>(nq));
+    for (int q = 0; q < nq; ++q)
+        parity[static_cast<std::size_t>(q)].vars = {q};
+    int next_var = nq;
+
+    struct Group
+    {
+        double angle = 0;        //!< merged signed angle
+        std::size_t rep = 0;     //!< representative gate index
+        bool repFlipped = false; //!< wire's affine bit at the rep site
+        int members = 0;
+    };
+    std::map<std::vector<int>, Group> groups;
+    // Per gate: the group key for diagonal 1q gates (empty = not one).
+    std::vector<const std::vector<int> *> gate_key(c.size(), nullptr);
+    std::vector<std::vector<int>> key_storage(c.size());
+
+    // Pass 1: simulate parities, accumulate per-parity angles.
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        const Gate &g = c.gate(i);
+        double angle = 0;
+        if (g.arity() == 1 && diagonalAngle(g, &angle)) {
+            Parity &p = parity[static_cast<std::size_t>(g.qubits[0])];
+            auto [it, inserted] = groups.try_emplace(p.vars);
+            Group &grp = it->second;
+            if (inserted) {
+                grp.rep = i;
+                grp.repFlipped = p.flipped;
+            }
+            // A rotation on a flipped wire contributes -θ to the
+            // parity term (plus a global phase, dropped under ≡).
+            grp.angle += p.flipped ? -angle : angle;
+            ++grp.members;
+            key_storage[i] = it->first;
+            gate_key[i] = &key_storage[i];
+            continue;
+        }
+        if (g.kind == GateKind::CX) {
+            Parity &pc = parity[static_cast<std::size_t>(g.qubits[0])];
+            Parity &pt = parity[static_cast<std::size_t>(g.qubits[1])];
+            pt.vars = xorVars(pt.vars, pc.vars);
+            pt.flipped = pt.flipped != pc.flipped;
+            continue;
+        }
+        if (g.kind == GateKind::X) {
+            parity[static_cast<std::size_t>(g.qubits[0])].flipped ^= true;
+            continue;
+        }
+        if (g.kind == GateKind::Swap) {
+            std::swap(parity[static_cast<std::size_t>(g.qubits[0])],
+                      parity[static_cast<std::size_t>(g.qubits[1])]);
+            continue;
+        }
+        if (isDiagonalMulti(g.kind))
+            continue; // diagonal: parities pass through untouched
+        // Any other gate is a barrier: remint its wires' parities.
+        for (int q : g.qubits) {
+            parity[static_cast<std::size_t>(q)].vars = {next_var++};
+            parity[static_cast<std::size_t>(q)].flipped = false;
+        }
+    }
+
+    // Pass 2: rebuild, emitting each group's merged angle at its
+    // representative site and dropping the absorbed rotations.
+    ir::Circuit out(nq);
+    int merged = 0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        const Gate &g = c.gate(i);
+        if (!gate_key[i]) {
+            out.add(g);
+            continue;
+        }
+        const Group &grp = groups.at(*gate_key[i]);
+        if (grp.rep != i) {
+            ++merged;
+            continue;
+        }
+        // Undo the representative site's affine sign so the emitted
+        // rotation realizes the merged parity term.
+        const double emit = ir::normalizeAngle(
+            grp.repFlipped ? -grp.angle : grp.angle);
+        if (ir::isZeroAngle(emit, 1e-12)) {
+            ++merged;
+            continue;
+        }
+        const int q = g.qubits[0];
+        if (set == ir::GateSetKind::CliffordT) {
+            for (Gate &ng : transpile::rzToCliffordT(emit, q))
+                out.add(std::move(ng));
+        } else if (set == ir::GateSetKind::Ibmq20) {
+            out.add(GateKind::U1, {q}, {emit});
+        } else {
+            out.add(GateKind::Rz, {q}, {emit});
+        }
+    }
+    if (stats)
+        stats->rotationsMerged = merged;
+    return out;
+}
+
+} // namespace baselines
+} // namespace guoq

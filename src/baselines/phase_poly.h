@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Phase-polynomial rotation merging — the PyZX stand-in (paper Q4).
+ *
+ * Over {CX, diagonal-phase} regions a circuit computes a phase
+ * polynomial: each diagonal rotation contributes its angle to the
+ * F2-linear parity its wire carries at that point. Rotations on equal
+ * parities merge regardless of distance — the T-count reductions the
+ * ZX-calculus finds — while the CX skeleton is left untouched, which
+ * is exactly PyZX's observable profile in Figs. 12/14: strong T
+ * reduction, zero 2q reduction. Non-diagonal gates (H, X, SX, ...)
+ * act as barriers that remint their wire's parity. DESIGN.md documents
+ * this substitution (Nam-style merging for the ZX-calculus original).
+ */
+
+#pragma once
+
+#include "ir/circuit.h"
+#include "ir/gate_set.h"
+
+namespace guoq {
+namespace baselines {
+
+/** Statistics of one merge run. */
+struct PhasePolyStats
+{
+    int rotationsMerged = 0; //!< diagonal gates absorbed into earlier ones
+};
+
+/**
+ * Merge same-parity diagonal rotations in @p c, emitting the merged
+ * angles natively for @p set (T/S/Z sequences for Clifford+T, Rz/U1
+ * otherwise). CX count is preserved exactly.
+ */
+ir::Circuit phasePolyOptimize(const ir::Circuit &c, ir::GateSetKind set,
+                              PhasePolyStats *stats = nullptr);
+
+} // namespace baselines
+} // namespace guoq

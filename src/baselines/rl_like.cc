@@ -1,0 +1,83 @@
+#include "baselines/rl_like.h"
+
+#include "rewrite/applier.h"
+#include "rewrite/rule.h"
+#include "support/rng.h"
+#include "support/timer.h"
+#include "transpile/to_gate_set.h"
+
+namespace guoq {
+namespace baselines {
+
+ir::Circuit
+rlLikeOptimize(const ir::Circuit &c, ir::GateSetKind set,
+               const RlLikeOptions &opts)
+{
+    const support::Deadline deadline =
+        support::Deadline::in(opts.timeBudgetSeconds);
+    support::Rng rng(opts.seed);
+    const core::CostFunction cost(opts.objective, set);
+    const std::vector<rewrite::RewriteRule> &rules = rewrite::rulesFor(set);
+
+    ir::Circuit best = c;
+    ir::Circuit cur = c;
+    double cost_best = cost(c);
+    double cost_cur = cost_best;
+    long steps = 0;
+    int stagnant = 0;
+
+    while (!deadline.expired() &&
+           (opts.maxSteps < 0 || steps < opts.maxSteps)) {
+        ++steps;
+
+        // Exploration: a random rule pass (plus occasional fusion),
+        // accepted unconditionally — the policy's stochastic head.
+        if (rng.chance(opts.explorationRate)) {
+            if (!ir::isFinite(set) && rng.chance(0.2)) {
+                cur = transpile::fuseOneQubitRuns(cur, set);
+            } else {
+                cur = rewrite::applyRulePassRandom(
+                          cur, rules[rng.index(rules.size())], rng)
+                          .circuit;
+            }
+            cost_cur = cost(cur);
+        } else {
+            // Greedy head: one-step lookahead over every rule.
+            double best_child_cost = cost_cur;
+            ir::Circuit best_child;
+            bool found = false;
+            for (const rewrite::RewriteRule &rule : rules) {
+                if (deadline.expired())
+                    break;
+                rewrite::PassResult r =
+                    rewrite::applyRulePassRandom(cur, rule, rng);
+                if (r.applications == 0)
+                    continue;
+                const double child_cost = cost(r.circuit);
+                if (child_cost < best_child_cost || !found) {
+                    best_child_cost = child_cost;
+                    best_child = std::move(r.circuit);
+                    found = true;
+                }
+            }
+            if (!found) {
+                ++stagnant;
+                if (stagnant > 8)
+                    break; // no rule fires at all: converged
+                continue;
+            }
+            stagnant = 0;
+            cur = std::move(best_child);
+            cost_cur = best_child_cost;
+        }
+
+        if (cost_cur < cost_best) {
+            cost_best = cost_cur;
+            best = cur;
+        }
+    }
+    return best;
+}
+
+} // namespace baselines
+} // namespace guoq

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * An RL-policy surrogate for Quarl (Table 3, Q1).
+ *
+ * Quarl schedules Quartz-generated rewrite rules with a deep RL policy
+ * trained on an A100 GPU. We cannot reproduce the training run; the
+ * surrogate reproduces the *decision profile* of the learned policy —
+ * strong greedy local scheduling of exact rewrites with occasional
+ * exploration, no approximation, no resynthesis — via one-step-
+ * lookahead greedy selection with ε-greedy exploration. DESIGN.md
+ * documents this substitution.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost.h"
+#include "ir/circuit.h"
+#include "ir/gate_set.h"
+
+namespace guoq {
+namespace baselines {
+
+/** Options for rlLikeOptimize(). */
+struct RlLikeOptions
+{
+    core::Objective objective = core::Objective::TwoQubitCount;
+    double timeBudgetSeconds = 10;
+    double explorationRate = 0.15; //!< ε of ε-greedy
+    std::uint64_t seed = 1;
+    long maxSteps = -1;            //!< optional cap for tests
+};
+
+/** Greedy-with-exploration rewrite scheduling. */
+ir::Circuit rlLikeOptimize(const ir::Circuit &c, ir::GateSetKind set,
+                           const RlLikeOptions &opts);
+
+} // namespace baselines
+} // namespace guoq

@@ -1,0 +1,52 @@
+#include "core/cost.h"
+
+#include "support/logging.h"
+
+namespace guoq {
+namespace core {
+
+const std::string &
+objectiveName(Objective obj)
+{
+    static const std::string names[] = {
+        "2q-count", "t-count", "2t+cx", "fidelity", "gate-count", "depth",
+    };
+    return names[static_cast<int>(obj)];
+}
+
+CostFunction::CostFunction(Objective obj, ir::GateSetKind set)
+    : objective_(obj), model_(&fidelity::errorModelFor(set))
+{
+}
+
+double
+CostFunction::operator()(const ir::Circuit &c) const
+{
+    switch (objective_) {
+      case Objective::TwoQubitCount:
+        // Tie-break equal 2q counts toward fewer total gates so the
+        // search drains 1q redundancy too (the paper's fidelity metric
+        // rewards this as well).
+        return static_cast<double>(c.twoQubitGateCount()) +
+               1e-6 * static_cast<double>(c.gateCount());
+      case Objective::TCount:
+        return static_cast<double>(c.tGateCount()) +
+               1e-6 * static_cast<double>(c.gateCount());
+      case Objective::TThenTwoQubit:
+        // Example 5.1: cost = 2·#T + #CX.
+        return 2.0 * static_cast<double>(c.tGateCount()) +
+               static_cast<double>(c.twoQubitGateCount()) +
+               1e-6 * static_cast<double>(c.gateCount());
+      case Objective::Fidelity:
+        return model_->logFidelityCost(c);
+      case Objective::GateCount:
+        return static_cast<double>(c.gateCount());
+      case Objective::Depth:
+        return static_cast<double>(c.depth()) +
+               1e-6 * static_cast<double>(c.gateCount());
+    }
+    support::panic("CostFunction: unknown objective");
+}
+
+} // namespace core
+} // namespace guoq

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Optimization objectives (paper §5.1): the soft-constraint cost
+ * functions GUOQ minimizes subject to the hard error budget ε_f.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "fidelity/error_model.h"
+#include "ir/circuit.h"
+#include "ir/gate_set.h"
+
+namespace guoq {
+namespace core {
+
+/** The objectives used across the paper's experiments. */
+enum class Objective
+{
+    TwoQubitCount,  //!< NISQ headline metric (argmin 2q-count, §4)
+    TCount,         //!< FTQC primary metric (Q4)
+    TThenTwoQubit,  //!< Example 5.1: 2·#T + #CX
+    Fidelity,       //!< maximize Π(1-err): minimize -log fidelity
+    GateCount,      //!< total gate count
+    Depth,          //!< circuit depth
+};
+
+/** Display name ("2q-count", ...). */
+const std::string &objectiveName(Objective obj);
+
+/** A concrete cost : C → R for an objective on a gate set. */
+class CostFunction
+{
+  public:
+    CostFunction(Objective obj, ir::GateSetKind set);
+
+    Objective objective() const { return objective_; }
+
+    /** Evaluate the cost of @p c (lower is better). */
+    double operator()(const ir::Circuit &c) const;
+
+  private:
+    Objective objective_;
+    const fidelity::ErrorModel *model_;
+};
+
+} // namespace core
+} // namespace guoq

@@ -1,0 +1,213 @@
+#include "core/guoq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <utility>
+
+#include "dag/subcircuit.h"
+#include "support/logging.h"
+#include "support/timer.h"
+#include "synth/resynth.h"
+
+namespace guoq {
+namespace core {
+
+namespace {
+
+/** State of the (single) in-flight asynchronous resynthesis call. */
+struct AsyncResynth
+{
+    std::future<synth::ResynthResult> future;
+    ir::Circuit snapshot;            //!< circuit at launch time
+    dag::SubcircuitSelection selection;
+    bool active = false;
+};
+
+/** Effective per-call resynthesis ε (see GuoqConfig). */
+double
+perCallEpsilon(const GuoqConfig &cfg)
+{
+    if (cfg.resynthCallEpsilon > 0)
+        return cfg.resynthCallEpsilon;
+    // Floor of 3e-7: below that the HS metric's machine-epsilon noise
+    // (~1e-8 after the sqrt) dominates and validation gets flaky.
+    return std::max(cfg.epsilonTotal / 16.0, 3e-7);
+}
+
+} // namespace
+
+GuoqResult
+optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
+{
+    support::Timer timer;
+    const support::Deadline deadline =
+        support::Deadline::in(cfg.timeBudgetSeconds);
+    support::Rng rng(cfg.seed);
+    const CostFunction cost(cfg.objective, set);
+
+    // ε_f = 0 disables approximate transformations entirely: the exact
+    // transformations alone keep the run at ε = 0 (Thm. 5.3).
+    TransformSelection selection = cfg.selection;
+    const bool allow_resynth = cfg.epsilonTotal > 0;
+    if (!allow_resynth && selection == TransformSelection::Combined)
+        selection = TransformSelection::RewriteOnly;
+    if (!allow_resynth && selection == TransformSelection::ResynthOnly)
+        support::fatal("guoq: resynth-only selection requires ε_f > 0");
+
+    const TransformationSet transforms(
+        set, selection, perCallEpsilon(cfg), cfg.resynthProbability,
+        cfg.resynthCallSeconds, cfg.maxSubcircuitQubits);
+
+    GuoqResult result;
+    result.best = c;
+    ir::Circuit curr = c;
+    double cost_best = cost(c);
+    double cost_curr = cost_best;
+    double error_curr = 0;
+    double error_best = 0;
+
+    auto record = [&](bool force = false) {
+        if (!cfg.recordTrace)
+            return;
+        if (!force && !result.trace.empty() &&
+            result.trace.back().cost <= cost_best)
+            return;
+        TracePoint p;
+        p.seconds = timer.seconds();
+        p.cost = cost_best;
+        p.gateCount = result.best.gateCount();
+        p.twoQubitCount = result.best.twoQubitGateCount();
+        p.tCount = result.best.tGateCount();
+        result.trace.push_back(p);
+    };
+    record(true);
+
+    AsyncResynth async;
+
+    // Accept/reject a candidate per Alg. 1 lines 10-18.
+    auto consider = [&](ir::Circuit &&candidate, double eps_spent,
+                        bool from_resynth) {
+        const double cost_cand = cost(candidate);
+        bool accept = cost_cand <= cost_curr;
+        if (accept) {
+            ++result.stats.accepted;
+        } else {
+            const double p =
+                std::exp(-cfg.temperature * cost_cand /
+                         std::max(cost_curr, 1e-12));
+            if (rng.chance(p)) {
+                accept = true;
+                ++result.stats.uphillAccepted;
+            } else {
+                ++result.stats.rejected;
+            }
+        }
+        if (!accept)
+            return;
+        curr = std::move(candidate);
+        cost_curr = cost_cand;
+        error_curr += eps_spent;
+        if (from_resynth)
+            ++result.stats.resynthAccepted;
+        if (cost_curr < cost_best) {
+            cost_best = cost_curr;
+            result.best = curr;
+            error_best = error_curr;
+            record();
+        }
+    };
+
+    // Harvest a finished asynchronous resynthesis call, if any.
+    auto harvestAsync = [&](bool wait) {
+        if (!async.active)
+            return;
+        if (!wait && async.future.wait_for(std::chrono::seconds(0)) !=
+                         std::future_status::ready)
+            return;
+        const synth::ResynthResult r = async.future.get();
+        async.active = false;
+        if (!r.success)
+            return;
+        if (error_curr + r.distance > cfg.epsilonTotal)
+            return; // budget moved on while the call was in flight
+        // Accepted resynthesis discards interim rewrites (§5.3): the
+        // candidate is the launch-time snapshot with the new block.
+        consider(dag::splice(async.snapshot, async.selection, r.circuit),
+                 r.distance, /*from_resynth=*/true);
+    };
+
+    while (!deadline.expired() &&
+           (cfg.maxIterations < 0 ||
+            result.stats.iterations < cfg.maxIterations)) {
+        ++result.stats.iterations;
+        harvestAsync(/*wait=*/false);
+
+        const std::size_t idx = transforms.sample(rng);
+        const Transformation &tau = transforms.all()[idx];
+
+        // Alg. 1 line 6: abstain when the nominal ε would overshoot.
+        if (error_curr + tau.epsilon() > cfg.epsilonTotal &&
+            tau.epsilon() > 0) {
+            ++result.stats.budgetSkips;
+            continue;
+        }
+
+        if (tau.kind() == TransformKind::Resynthesis) {
+            ++result.stats.resynthCalls;
+            if (cfg.asyncResynthesis) {
+                if (async.active)
+                    continue; // one outstanding call at a time
+                if (curr.empty())
+                    continue;
+                async.selection = dag::randomConvex(
+                    curr, rng, cfg.maxSubcircuitQubits, 32, 6);
+                if (async.selection.size() < 2)
+                    continue;
+                async.snapshot = curr;
+                const ir::Circuit sub =
+                    dag::extract(async.snapshot, async.selection);
+                synth::ResynthOptions opts;
+                opts.targetSet = set;
+                opts.epsilon = perCallEpsilon(cfg);
+                opts.maxQubits = cfg.maxSubcircuitQubits;
+                opts.deadline = support::Deadline::in(
+                    std::min(cfg.resynthCallSeconds,
+                             deadline.remaining()));
+                support::Rng child = rng.fork();
+                async.future = std::async(
+                    std::launch::async,
+                    [sub, opts, child]() mutable {
+                        return synth::resynthesize(sub, opts, child);
+                    });
+                async.active = true;
+                continue;
+            }
+        }
+
+        auto outcome = tau.apply(curr, rng);
+        if (!outcome) {
+            ++result.stats.noops;
+            continue;
+        }
+        if (tau.kind() != TransformKind::Resynthesis)
+            ++result.stats.rewriteApplications;
+        if (error_curr + outcome->epsilonSpent > cfg.epsilonTotal &&
+            outcome->epsilonSpent > 0) {
+            ++result.stats.budgetSkips;
+            continue;
+        }
+        consider(std::move(outcome->circuit), outcome->epsilonSpent,
+                 tau.kind() == TransformKind::Resynthesis);
+    }
+
+    harvestAsync(/*wait=*/true);
+
+    result.errorBound = error_best;
+    result.stats.seconds = timer.seconds();
+    record(true);
+    return result;
+}
+
+} // namespace core
+} // namespace guoq

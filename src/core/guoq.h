@@ -1,0 +1,118 @@
+/**
+ * @file
+ * GUOQ (Alg. 1): the simulated-annealing-inspired randomized search
+ * over circuit transformations, plus its configuration, statistics,
+ * trace, and result types.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/framework.h"
+#include "ir/circuit.h"
+#include "ir/gate_set.h"
+
+namespace guoq {
+namespace core {
+
+/** Configuration for one optimization run. */
+struct GuoqConfig
+{
+    /** Hard constraint ε_f: total approximation budget (HS distance).
+     *  0 keeps the run exact (resynthesis disabled). */
+    double epsilonTotal = 0;
+
+    /** Soft constraint: what to minimize. */
+    Objective objective = Objective::TwoQubitCount;
+
+    /** Wall-clock budget in seconds (GUOQ is an anytime algorithm). */
+    double timeBudgetSeconds = 10.0;
+
+    /** Optional iteration cap (< 0 = unlimited); used by tests. */
+    long maxIterations = -1;
+
+    /** RNG seed: one seed reproduces the whole run. */
+    std::uint64_t seed = 1;
+
+    /** Acceptance temperature t (paper: 10 after a 0..10 sweep). */
+    double temperature = 10.0;
+
+    /** Probability of sampling resynthesis (paper §5.3: 1.5%). */
+    double resynthProbability = 0.015;
+
+    /** Subcircuit qubit cap for resynthesis (paper: 3). */
+    int maxSubcircuitQubits = 3;
+
+    /** Per-synthesis-call wall-clock cap (seconds). */
+    double resynthCallSeconds = 1.0;
+
+    /**
+     * Nominal ε per resynthesis call. ≤ 0 selects the default
+     * max(ε_f/16, 1e-7) — several approximate calls fit the budget
+     * because the loop charges the *measured* per-call distance
+     * (≤ nominal; see TransformOutcome::epsilonSpent).
+     */
+    double resynthCallEpsilon = -1.0;
+
+    /** Ablation switch (Q2): which transformation classes to use. */
+    TransformSelection selection = TransformSelection::Combined;
+
+    /**
+     * Apply resynthesis asynchronously (paper §5.3): rewriting
+     * continues while a synthesis call is in flight; interim rewrites
+     * are discarded when the resynthesis result is accepted.
+     */
+    bool asyncResynthesis = false;
+
+    /** Record a best-cost-over-time trace (Fig. 7 style). */
+    bool recordTrace = false;
+};
+
+/** Counters for one run. */
+struct GuoqStats
+{
+    long iterations = 0;
+    long accepted = 0;         //!< improving/equal moves taken
+    long uphillAccepted = 0;   //!< worse moves taken (Metropolis)
+    long rejected = 0;
+    long noops = 0;            //!< transformations that didn't fire
+    long budgetSkips = 0;      //!< Alg. 1 line 6 abstentions
+    long resynthCalls = 0;
+    long resynthAccepted = 0;
+    long rewriteApplications = 0;
+    double seconds = 0;
+};
+
+/** One point of the best-cost-over-time trace. */
+struct TracePoint
+{
+    double seconds = 0;
+    double cost = 0;
+    std::size_t gateCount = 0;
+    std::size_t twoQubitCount = 0;
+    std::size_t tCount = 0;
+};
+
+/** Result of guoq(). */
+struct GuoqResult
+{
+    ir::Circuit best;
+    double errorBound = 0; //!< accumulated ε of the returned circuit
+    GuoqStats stats;
+    std::vector<TracePoint> trace;
+};
+
+/**
+ * Run GUOQ on @p c targeting @p set. The result satisfies
+ * C ≡_{ε_f} best (Thm. 5.3); with cfg.epsilonTotal == 0 the run is
+ * exact.
+ */
+GuoqResult optimize(const ir::Circuit &c, ir::GateSetKind set,
+                    const GuoqConfig &cfg);
+
+} // namespace core
+} // namespace guoq

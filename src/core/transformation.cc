@@ -1,0 +1,104 @@
+#include "core/transformation.h"
+
+#include "dag/subcircuit.h"
+#include "rewrite/applier.h"
+#include "support/logging.h"
+#include "synth/resynth.h"
+#include "transpile/to_gate_set.h"
+
+namespace guoq {
+namespace core {
+
+namespace {
+
+/** Gate cap for resynthesis subcircuits: bounds unitary-eval time. */
+constexpr std::size_t kMaxSubcircuitGates = 32;
+
+/**
+ * Entangler cap for resynthesis subcircuits: instantiation cost and
+ * the deletion search both scale with the seed structure depth.
+ */
+constexpr int kMaxSubcircuitEntanglers = 6;
+
+} // namespace
+
+Transformation
+Transformation::fromRule(const rewrite::RewriteRule *rule)
+{
+    Transformation t;
+    t.name_ = "rule:" + rule->name();
+    t.kind_ = TransformKind::RewriteRule;
+    t.epsilon_ = 0;
+    t.rule_ = rule;
+    return t;
+}
+
+Transformation
+Transformation::fusion(ir::GateSetKind set)
+{
+    Transformation t;
+    t.name_ = "fusion:1q";
+    t.kind_ = TransformKind::Fusion;
+    t.epsilon_ = 0;
+    t.set_ = set;
+    return t;
+}
+
+Transformation
+Transformation::resynthesis(ir::GateSetKind set, double epsilon,
+                            double per_call_seconds, int max_qubits)
+{
+    Transformation t;
+    t.name_ = "resynth:" + ir::gateSetName(set);
+    t.kind_ = TransformKind::Resynthesis;
+    t.epsilon_ = epsilon;
+    t.set_ = set;
+    t.perCallSeconds_ = per_call_seconds;
+    t.maxQubits_ = max_qubits;
+    return t;
+}
+
+std::optional<TransformOutcome>
+Transformation::apply(const ir::Circuit &c, support::Rng &rng) const
+{
+    switch (kind_) {
+      case TransformKind::RewriteRule: {
+        rewrite::PassResult r =
+            rewrite::applyRulePassRandom(c, *rule_, rng);
+        if (r.applications == 0)
+            return std::nullopt;
+        return TransformOutcome{std::move(r.circuit), 0.0};
+      }
+      case TransformKind::Fusion: {
+        ir::Circuit fused = transpile::fuseOneQubitRuns(c, set_);
+        if (fused.size() >= c.size())
+            return std::nullopt;
+        return TransformOutcome{std::move(fused), 0.0};
+      }
+      case TransformKind::Resynthesis: {
+        if (c.empty())
+            return std::nullopt;
+        const dag::SubcircuitSelection sel = dag::randomConvex(
+            c, rng, maxQubits_, kMaxSubcircuitGates,
+            kMaxSubcircuitEntanglers);
+        if (sel.size() < 2)
+            return std::nullopt;
+        const ir::Circuit sub = dag::extract(c, sel);
+        synth::ResynthOptions opts;
+        opts.targetSet = set_;
+        opts.epsilon = epsilon_;
+        opts.maxQubits = maxQubits_;
+        opts.deadline = support::Deadline::in(perCallSeconds_);
+        const synth::ResynthResult r =
+            synth::resynthesize(sub, opts, rng);
+        if (!r.success || r.circuit.gates() == sub.gates())
+            return std::nullopt; // failed or unchanged: free no-op
+        TransformOutcome out{dag::splice(c, sel, r.circuit), r.distance};
+        return out;
+      }
+    }
+    support::panic("Transformation::apply: unknown kind");
+}
+
+} // namespace core
+} // namespace guoq

@@ -1,0 +1,82 @@
+#include "dag/circuit_dag.h"
+
+#include "support/logging.h"
+
+namespace guoq {
+namespace dag {
+
+CircuitDag::CircuitDag(const ir::Circuit &c)
+    : numQubits_(c.numQubits()),
+      first_(static_cast<std::size_t>(c.numQubits()), kNoGate),
+      last_(static_cast<std::size_t>(c.numQubits()), kNoGate)
+{
+    const std::size_t n = c.size();
+    gateQubits_.reserve(n);
+    nextLink_.resize(n);
+    prevLink_.resize(n);
+
+    std::vector<std::size_t> frontier(
+        static_cast<std::size_t>(c.numQubits()), kNoGate);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const ir::Gate &g = c.gate(i);
+        gateQubits_.push_back(g.qubits);
+        const std::size_t m = g.qubits.size();
+        nextLink_[i].assign(m, kNoGate);
+        prevLink_[i].assign(m, kNoGate);
+        for (std::size_t k = 0; k < m; ++k) {
+            const auto q = static_cast<std::size_t>(g.qubits[k]);
+            const std::size_t p = frontier[q];
+            prevLink_[i][k] = p;
+            if (p == kNoGate) {
+                first_[q] = i;
+            } else {
+                // Link the previous gate's slot for this wire to us.
+                const auto &pq = gateQubits_[p];
+                for (std::size_t s = 0; s < pq.size(); ++s)
+                    if (pq[s] == g.qubits[k])
+                        nextLink_[p][s] = i;
+            }
+            frontier[q] = i;
+            last_[q] = i;
+        }
+    }
+}
+
+std::size_t
+CircuitDag::slotOf(std::size_t gate_idx, int q) const
+{
+    const auto &qs = gateQubits_[gate_idx];
+    for (std::size_t s = 0; s < qs.size(); ++s)
+        if (qs[s] == q)
+            return s;
+    support::panic(support::strcat("CircuitDag: gate ", gate_idx,
+                                   " does not act on qubit ", q));
+}
+
+std::size_t
+CircuitDag::next(std::size_t gate_idx, int q) const
+{
+    return nextLink_[gate_idx][slotOf(gate_idx, q)];
+}
+
+std::size_t
+CircuitDag::prev(std::size_t gate_idx, int q) const
+{
+    return prevLink_[gate_idx][slotOf(gate_idx, q)];
+}
+
+std::size_t
+CircuitDag::firstOnWire(int q) const
+{
+    return first_[static_cast<std::size_t>(q)];
+}
+
+std::size_t
+CircuitDag::lastOnWire(int q) const
+{
+    return last_[static_cast<std::size_t>(q)];
+}
+
+} // namespace dag
+} // namespace guoq

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * DAG view of a circuit: per-wire predecessor/successor links between
+ * gates (paper §3, "Subcircuits"). The gate list itself is a valid
+ * topological order; the DAG adds O(1) wire-adjacency queries used by
+ * the rewrite matcher and the subcircuit selector.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace guoq {
+namespace dag {
+
+/** Sentinel for "no adjacent gate on this wire". */
+constexpr std::size_t kNoGate = static_cast<std::size_t>(-1);
+
+/** Wire-adjacency index over a circuit's gate list. */
+class CircuitDag
+{
+  public:
+    explicit CircuitDag(const ir::Circuit &c);
+
+    /** Index of the next gate after @p gate_idx on wire @p q. */
+    std::size_t next(std::size_t gate_idx, int q) const;
+
+    /** Index of the previous gate before @p gate_idx on wire @p q. */
+    std::size_t prev(std::size_t gate_idx, int q) const;
+
+    /** First / last gate on wire @p q (kNoGate when the wire is idle). */
+    std::size_t firstOnWire(int q) const;
+    std::size_t lastOnWire(int q) const;
+
+    int numQubits() const { return numQubits_; }
+    std::size_t numGates() const { return gateQubits_.size(); }
+
+  private:
+    /** Slot of wire q within gate i's qubit list (panics if absent). */
+    std::size_t slotOf(std::size_t gate_idx, int q) const;
+
+    int numQubits_;
+    std::vector<std::vector<int>> gateQubits_;
+    // nextLink_[i][k] / prevLink_[i][k]: neighbor of gate i on its k-th
+    // qubit wire.
+    std::vector<std::vector<std::size_t>> nextLink_;
+    std::vector<std::vector<std::size_t>> prevLink_;
+    std::vector<std::size_t> first_;
+    std::vector<std::size_t> last_;
+};
+
+} // namespace dag
+} // namespace guoq

@@ -1,0 +1,62 @@
+#include "fidelity/error_model.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace guoq {
+namespace fidelity {
+
+double
+ErrorModel::gateError(const ir::Gate &g) const
+{
+    switch (g.arity()) {
+      case 1:
+        return oneQubitError;
+      case 2:
+        return twoQubitError;
+      default:
+        return threeQubitError;
+    }
+}
+
+double
+ErrorModel::circuitFidelity(const ir::Circuit &c) const
+{
+    double f = 1.0;
+    for (const ir::Gate &g : c.gates())
+        f *= 1.0 - gateError(g);
+    return f;
+}
+
+double
+ErrorModel::logFidelityCost(const ir::Circuit &c) const
+{
+    double cost = 0.0;
+    for (const ir::Gate &g : c.gates())
+        cost += -std::log1p(-gateError(g));
+    return cost;
+}
+
+const ErrorModel &
+errorModelFor(ir::GateSetKind set)
+{
+    // Published-magnitude rates; see the file comment for provenance.
+    static const ErrorModel superconducting{2.5e-4, 7.5e-3, 2.5e-2};
+    static const ErrorModel ionTrap{2.0e-4, 4.0e-3, 1.5e-2};
+    static const ErrorModel faultTolerant{1.0e-6, 5.0e-6, 2.0e-5};
+    switch (set) {
+      case ir::GateSetKind::Ibmq20:
+      case ir::GateSetKind::IbmEagle:
+      case ir::GateSetKind::Nam:
+        return superconducting;
+      case ir::GateSetKind::IonQ:
+        return ionTrap;
+      case ir::GateSetKind::CliffordT:
+        return faultTolerant;
+    }
+    support::panic("errorModelFor: unknown gate set");
+}
+
+} // namespace fidelity
+} // namespace guoq

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Gate-error models and circuit fidelity (paper §6 "Metrics").
+ *
+ * The paper computes fidelity from device calibration data (IBM
+ * Washington for the superconducting sets, IonQ Forte for the ion
+ * trap). Those feeds are proprietary snapshots; we substitute tables
+ * with published-magnitude error rates — fidelity = Π(1 - err) only
+ * needs realistic relative 1q/2q error magnitudes, which is what makes
+ * two-qubit reduction the dominant objective.
+ */
+
+#pragma once
+
+#include "ir/circuit.h"
+#include "ir/gate_set.h"
+
+namespace guoq {
+namespace fidelity {
+
+/** Per-gate-class error rates. */
+struct ErrorModel
+{
+    double oneQubitError = 0;
+    double twoQubitError = 0;
+    double threeQubitError = 0; //!< for not-yet-decomposed circuits
+
+    /** Error rate of one gate. */
+    double gateError(const ir::Gate &g) const;
+
+    /** Circuit fidelity: Π over gates of (1 - error). */
+    double circuitFidelity(const ir::Circuit &c) const;
+
+    /**
+     * -log(fidelity) = Σ -log(1 - err): an additive cost that orders
+     * circuits identically to fidelity and is safe to accumulate.
+     */
+    double logFidelityCost(const ir::Circuit &c) const;
+};
+
+/**
+ * The calibration-magnitude model for @p set:
+ *   superconducting (ibmq20, ibm-eagle, nam-as-abstract): 2q ≈ 7.5e-3,
+ *   1q ≈ 2.5e-4 (IBM Washington scale);
+ *   ion trap (ionq): 2q ≈ 4e-3, 1q ≈ 2e-4 (IonQ Forte scale);
+ *   Clifford+T: logical rates, 2q-dominated.
+ */
+const ErrorModel &errorModelFor(ir::GateSetKind set);
+
+} // namespace fidelity
+} // namespace guoq

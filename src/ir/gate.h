@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A gate instance: a kind applied to specific qubits with bound angles.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/gate_kind.h"
+#include "linalg/complex_matrix.h"
+
+namespace guoq {
+namespace ir {
+
+/** One gate application in a circuit. */
+struct Gate
+{
+    GateKind kind = GateKind::X;
+    std::vector<int> qubits;    //!< first qubit = matrix MSB
+    std::vector<double> params; //!< size == gateParamCount(kind)
+
+    Gate() = default;
+    Gate(GateKind k, std::vector<int> qs, std::vector<double> ps = {});
+
+    int arity() const { return static_cast<int>(qubits.size()); }
+
+    /** The 2^m x 2^m unitary of this gate (local to its qubits). */
+    linalg::ComplexMatrix matrix() const;
+
+    /**
+     * A gate (or pair) implementing the inverse. Most kinds invert to a
+     * single gate; U2 inverts to a U3.
+     */
+    std::vector<Gate> inverse() const;
+
+    /** True when both act on the same qubits in the same order. */
+    bool sameQubits(const Gate &other) const;
+
+    /** True when the two gates share at least one qubit. */
+    bool overlaps(const Gate &other) const;
+
+    /** True when @p q is one of this gate's qubits. */
+    bool actsOn(int q) const;
+
+    /** "cx q0, q1" / "rz(0.5) q3" textual form. */
+    std::string toString() const;
+
+    bool operator==(const Gate &other) const;
+};
+
+/** Normalize an angle into (-π, π]. */
+double normalizeAngle(double theta);
+
+/** True when the angle is ~0 modulo 2π (gate acts as identity). */
+bool isZeroAngle(double theta, double tol = 1e-12);
+
+} // namespace ir
+} // namespace guoq

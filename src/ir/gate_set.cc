@@ -1,0 +1,86 @@
+#include "ir/gate_set.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace guoq {
+namespace ir {
+
+const std::vector<GateSetKind> &
+allGateSets()
+{
+    static const std::vector<GateSetKind> sets = {
+        GateSetKind::Ibmq20, GateSetKind::IbmEagle, GateSetKind::IonQ,
+        GateSetKind::Nam, GateSetKind::CliffordT,
+    };
+    return sets;
+}
+
+const std::string &
+gateSetName(GateSetKind set)
+{
+    static const std::string names[] = {"ibmq20", "ibm-eagle", "ionq", "nam",
+                                        "cliffordt"};
+    return names[static_cast<int>(set)];
+}
+
+const std::string &
+gateSetArchitecture(GateSetKind set)
+{
+    static const std::string archs[] = {"Superconducting", "Superconducting",
+                                        "Ion Trap", "None",
+                                        "Fault Tolerant"};
+    return archs[static_cast<int>(set)];
+}
+
+const std::vector<GateKind> &
+nativeGates(GateSetKind set)
+{
+    static const std::vector<GateKind> ibmq20 = {
+        GateKind::U1, GateKind::U2, GateKind::U3, GateKind::CX};
+    static const std::vector<GateKind> eagle = {
+        GateKind::Rz, GateKind::SX, GateKind::X, GateKind::CX};
+    static const std::vector<GateKind> ionq = {
+        GateKind::Rx, GateKind::Ry, GateKind::Rz, GateKind::Rxx};
+    static const std::vector<GateKind> nam = {
+        GateKind::Rz, GateKind::H, GateKind::X, GateKind::CX};
+    static const std::vector<GateKind> cliffordt = {
+        GateKind::T, GateKind::Tdg, GateKind::S, GateKind::Sdg,
+        GateKind::H, GateKind::X, GateKind::CX};
+    switch (set) {
+      case GateSetKind::Ibmq20:
+        return ibmq20;
+      case GateSetKind::IbmEagle:
+        return eagle;
+      case GateSetKind::IonQ:
+        return ionq;
+      case GateSetKind::Nam:
+        return nam;
+      case GateSetKind::CliffordT:
+        return cliffordt;
+    }
+    support::panic("bad GateSetKind");
+}
+
+bool
+isNative(GateSetKind set, GateKind kind)
+{
+    const auto &gates = nativeGates(set);
+    return std::find(gates.begin(), gates.end(), kind) != gates.end();
+}
+
+bool
+isFinite(GateSetKind set)
+{
+    return set == GateSetKind::CliffordT;
+}
+
+GateKind
+entanglingGate(GateSetKind set)
+{
+    return set == GateSetKind::IonQ ? GateKind::Rxx : GateKind::CX;
+}
+
+} // namespace ir
+} // namespace guoq

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The five target gate sets of paper Table 2 and their registry.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/gate_kind.h"
+
+namespace guoq {
+namespace ir {
+
+/** Target gate sets (paper Table 2). */
+enum class GateSetKind
+{
+    Ibmq20,    //!< U1, U2, U3, CX (superconducting)
+    IbmEagle,  //!< Rz, SX, X, CX (superconducting)
+    IonQ,      //!< Rx, Ry, Rz, Rxx (ion trap)
+    Nam,       //!< Rz, H, X, CX (abstract, Nam et al.)
+    CliffordT, //!< T, T†, S, S†, H, X, CX (fault tolerant)
+};
+
+/** All gate sets, in Table 2 order. */
+const std::vector<GateSetKind> &allGateSets();
+
+/** Display name ("ibmq20", "ibm-eagle", ...). */
+const std::string &gateSetName(GateSetKind set);
+
+/** Architecture column of Table 2. */
+const std::string &gateSetArchitecture(GateSetKind set);
+
+/** The native gate kinds of @p set. */
+const std::vector<GateKind> &nativeGates(GateSetKind set);
+
+/** True when @p kind is native to @p set. */
+bool isNative(GateSetKind set, GateKind kind);
+
+/** True when all gates of the circuit-level kind list are native. */
+bool isFinite(GateSetKind set); //!< true only for Clifford+T
+
+/**
+ * The entangling (2-qubit) gate of @p set: CX everywhere except IonQ,
+ * which uses Rxx.
+ */
+GateKind entanglingGate(GateSetKind set);
+
+} // namespace ir
+} // namespace guoq

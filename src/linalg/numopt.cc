@@ -1,0 +1,186 @@
+#include "linalg/numopt.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace guoq {
+namespace linalg {
+
+MinimizeResult
+minimizeAdam(const GradFn &f, std::vector<double> x0,
+             const MinimizeOptions &opts)
+{
+    const std::size_t n = x0.size();
+    std::vector<double> g(n), m(n, 0.0), v(n, 0.0);
+    MinimizeResult best;
+    best.x = x0;
+    best.value = f(x0, nullptr);
+
+    std::vector<double> x = std::move(x0);
+    const double b1 = 0.9, b2 = 0.999, epsn = 1e-8;
+    double b1t = 1.0, b2t = 1.0;
+    int flat = 0;
+    double prev = best.value;
+    // Stall detection: bail when the best value stops improving
+    // meaningfully so multi-start can try a fresh initialization.
+    double stall_ref = best.value;
+    int stall = 0;
+
+    for (int it = 0; it < opts.maxIters; ++it) {
+        if ((it & 31) == 0 && opts.deadline.expired())
+            break;
+        const double fx = f(x, &g);
+        if (fx < best.value) {
+            best.value = fx;
+            best.x = x;
+        }
+        best.iterations = it + 1;
+        if (fx <= opts.tolerance) {
+            best.converged = true;
+            break;
+        }
+        if (best.value < stall_ref * (1.0 - 1e-3) ||
+            best.value < stall_ref - 1e-9) {
+            stall_ref = best.value;
+            stall = 0;
+        } else if (++stall > 140) {
+            break;
+        }
+        if (std::abs(prev - fx) < 1e-14 * std::max(1.0, std::abs(fx))) {
+            if (++flat > 40)
+                break;
+        } else {
+            flat = 0;
+        }
+        prev = fx;
+
+        b1t *= b1;
+        b2t *= b2;
+        for (std::size_t i = 0; i < n; ++i) {
+            m[i] = b1 * m[i] + (1 - b1) * g[i];
+            v[i] = b2 * v[i] + (1 - b2) * g[i] * g[i];
+            const double mh = m[i] / (1 - b1t);
+            const double vh = v[i] / (1 - b2t);
+            x[i] -= opts.learningRate * mh / (std::sqrt(vh) + epsn);
+        }
+    }
+    if (best.value <= opts.tolerance)
+        best.converged = true;
+    return best;
+}
+
+MinimizeResult
+minimizeNelderMead(const std::function<double(const std::vector<double> &)> &f,
+                   std::vector<double> x0, const MinimizeOptions &opts)
+{
+    const std::size_t n = x0.size();
+    MinimizeResult res;
+    if (n == 0) {
+        res.x = x0;
+        res.value = f(x0);
+        res.converged = res.value <= opts.tolerance;
+        return res;
+    }
+
+    // Initial simplex: x0 plus axis-aligned perturbations.
+    std::vector<std::vector<double>> pts(n + 1, x0);
+    std::vector<double> vals(n + 1);
+    for (std::size_t i = 0; i < n; ++i)
+        pts[i + 1][i] += 0.25;
+    for (std::size_t i = 0; i <= n; ++i)
+        vals[i] = f(pts[i]);
+
+    const double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+    for (int it = 0; it < opts.maxIters; ++it) {
+        if ((it & 15) == 0 && opts.deadline.expired())
+            break;
+        // Order simplex by value.
+        std::vector<std::size_t> order(n + 1);
+        for (std::size_t i = 0; i <= n; ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return vals[a] < vals[b];
+                  });
+        res.iterations = it + 1;
+        if (vals[order[0]] <= opts.tolerance)
+            break;
+
+        // Centroid of all but worst.
+        std::vector<double> cen(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t d = 0; d < n; ++d)
+                cen[d] += pts[order[i]][d] / static_cast<double>(n);
+        const std::size_t worst = order[n];
+
+        auto blend = [&](double t) {
+            std::vector<double> p(n);
+            for (std::size_t d = 0; d < n; ++d)
+                p[d] = cen[d] + t * (cen[d] - pts[worst][d]);
+            return p;
+        };
+
+        const auto refl = blend(alpha);
+        const double frefl = f(refl);
+        if (frefl < vals[order[0]]) {
+            const auto expd = blend(gamma);
+            const double fexpd = f(expd);
+            if (fexpd < frefl) {
+                pts[worst] = expd;
+                vals[worst] = fexpd;
+            } else {
+                pts[worst] = refl;
+                vals[worst] = frefl;
+            }
+        } else if (frefl < vals[order[n - 1]]) {
+            pts[worst] = refl;
+            vals[worst] = frefl;
+        } else {
+            const auto con = blend(-rho);
+            const double fcon = f(con);
+            if (fcon < vals[worst]) {
+                pts[worst] = con;
+                vals[worst] = fcon;
+            } else {
+                // Shrink toward the best point.
+                for (std::size_t i = 1; i <= n; ++i) {
+                    const std::size_t idx = order[i];
+                    for (std::size_t d = 0; d < n; ++d)
+                        pts[idx][d] = pts[order[0]][d] +
+                            sigma * (pts[idx][d] - pts[order[0]][d]);
+                    vals[idx] = f(pts[idx]);
+                }
+            }
+        }
+    }
+
+    std::size_t bi = 0;
+    for (std::size_t i = 1; i <= n; ++i)
+        if (vals[i] < vals[bi])
+            bi = i;
+    res.x = pts[bi];
+    res.value = vals[bi];
+    res.converged = res.value <= opts.tolerance;
+    return res;
+}
+
+MinimizeResult
+minimizeMultiStart(const GradFn &f, std::vector<double> x0, int starts,
+                   support::Rng &rng, const MinimizeOptions &opts)
+{
+    MinimizeResult best = minimizeAdam(f, x0, opts);
+    for (int s = 1; s < starts && !best.converged; ++s) {
+        if (opts.deadline.expired())
+            break;
+        std::vector<double> x(x0.size());
+        for (auto &xi : x)
+            xi = rng.uniform(-3.14159265358979323846, 3.14159265358979323846);
+        MinimizeResult r = minimizeAdam(f, std::move(x), opts);
+        if (r.value < best.value)
+            best = std::move(r);
+    }
+    return best;
+}
+
+} // namespace linalg
+} // namespace guoq

@@ -1,0 +1,429 @@
+#include "qasm/parser.h"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace guoq {
+namespace qasm {
+
+namespace {
+
+/** Token kinds produced by the lexer. */
+enum class Tok
+{
+    Ident,
+    Number,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Arrow,
+    String,
+    End,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    double number = 0;
+    int line = 0;
+};
+
+/** Whole-input lexer; strips // comments. */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src_(src) {}
+
+    Token
+    next()
+    {
+        skipSpace();
+        Token t;
+        t.line = line_;
+        if (pos_ >= src_.size()) {
+            t.kind = Tok::End;
+            return t;
+        }
+        const char c = src_[pos_];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            const std::size_t start = pos_;
+            while (pos_ < src_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                    src_[pos_] == '_'))
+                ++pos_;
+            t.kind = Tok::Ident;
+            t.text = src_.substr(start, pos_ - start);
+            return t;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+            const std::size_t start = pos_;
+            while (pos_ < src_.size() &&
+                   (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+                    src_[pos_] == '.' || src_[pos_] == 'e' ||
+                    src_[pos_] == 'E' ||
+                    ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
+                     (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E'))))
+                ++pos_;
+            t.kind = Tok::Number;
+            t.text = src_.substr(start, pos_ - start);
+            t.number = std::stod(t.text);
+            return t;
+        }
+        if (c == '"') {
+            const std::size_t start = ++pos_;
+            while (pos_ < src_.size() && src_[pos_] != '"')
+                ++pos_;
+            t.kind = Tok::String;
+            t.text = src_.substr(start, pos_ - start);
+            if (pos_ < src_.size())
+                ++pos_; // closing quote
+            return t;
+        }
+        ++pos_;
+        switch (c) {
+          case '(': t.kind = Tok::LParen; return t;
+          case ')': t.kind = Tok::RParen; return t;
+          case '[': t.kind = Tok::LBracket; return t;
+          case ']': t.kind = Tok::RBracket; return t;
+          case '{': t.kind = Tok::LBrace; return t;
+          case '}': t.kind = Tok::RBrace; return t;
+          case ',': t.kind = Tok::Comma; return t;
+          case ';': t.kind = Tok::Semi; return t;
+          case '+': t.kind = Tok::Plus; return t;
+          case '*': t.kind = Tok::Star; return t;
+          case '/': t.kind = Tok::Slash; return t;
+          case '-':
+            if (pos_ < src_.size() && src_[pos_] == '>') {
+                ++pos_;
+                t.kind = Tok::Arrow;
+            } else {
+                t.kind = Tok::Minus;
+            }
+            return t;
+          default:
+            support::fatal(support::strcat("qasm: line ", line_,
+                                           ": unexpected character '", c,
+                                           "'"));
+        }
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '/' && pos_ + 1 < src_.size() &&
+                       src_[pos_ + 1] == '/') {
+                while (pos_ < src_.size() && src_[pos_] != '\n')
+                    ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    const std::string &src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+};
+
+/** The parser proper: one token of lookahead over the lexer. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : lexer_(src)
+    {
+        cur_ = lexer_.next();
+    }
+
+    ir::Circuit
+    parseProgram()
+    {
+        parseHeader();
+        // First pass collects register declarations and gate statements
+        // interleaved; registers must precede their first use.
+        while (cur_.kind != Tok::End)
+            parseStatement();
+        ir::Circuit c(totalQubits_);
+        for (ir::Gate &g : pending_)
+            c.add(std::move(g));
+        return c;
+    }
+
+  private:
+    [[noreturn]] void
+    error(const std::string &msg) const
+    {
+        support::fatal(support::strcat("qasm: line ", cur_.line, ": ", msg));
+    }
+
+    void advance() { cur_ = lexer_.next(); }
+
+    void
+    expect(Tok k, const char *what)
+    {
+        if (cur_.kind != k)
+            error(support::strcat("expected ", what, ", got '", cur_.text,
+                                  "'"));
+        advance();
+    }
+
+    bool
+    accept(Tok k)
+    {
+        if (cur_.kind != k)
+            return false;
+        advance();
+        return true;
+    }
+
+    void
+    parseHeader()
+    {
+        if (cur_.kind == Tok::Ident && cur_.text == "OPENQASM") {
+            advance();
+            expect(Tok::Number, "version number");
+            expect(Tok::Semi, "';'");
+        }
+    }
+
+    void
+    parseStatement()
+    {
+        if (cur_.kind != Tok::Ident)
+            error("expected statement");
+        const std::string kw = cur_.text;
+        if (kw == "include") {
+            advance();
+            expect(Tok::String, "file name");
+            expect(Tok::Semi, "';'");
+        } else if (kw == "qreg") {
+            advance();
+            parseQreg();
+        } else if (kw == "creg") {
+            // Classical registers are accepted and ignored so that
+            // published benchmark files parse; measurements are not.
+            advance();
+            expect(Tok::Ident, "register name");
+            expect(Tok::LBracket, "'['");
+            expect(Tok::Number, "size");
+            expect(Tok::RBracket, "']'");
+            expect(Tok::Semi, "';'");
+        } else if (kw == "barrier") {
+            while (cur_.kind != Tok::Semi && cur_.kind != Tok::End)
+                advance();
+            expect(Tok::Semi, "';'");
+        } else if (kw == "gate") {
+            skipGateDefinition();
+        } else if (kw == "measure" || kw == "reset" || kw == "if") {
+            error("'" + kw + "' is not supported (unitary circuits only)");
+        } else {
+            parseGateApplication();
+        }
+    }
+
+    void
+    parseQreg()
+    {
+        if (cur_.kind != Tok::Ident)
+            error("expected register name");
+        const std::string name = cur_.text;
+        advance();
+        expect(Tok::LBracket, "'['");
+        if (cur_.kind != Tok::Number)
+            error("expected register size");
+        const int size = static_cast<int>(cur_.number);
+        advance();
+        expect(Tok::RBracket, "']'");
+        expect(Tok::Semi, "';'");
+        if (registers_.count(name))
+            error("duplicate qreg '" + name + "'");
+        registers_[name] = totalQubits_;
+        totalQubits_ += size;
+        registerSizes_[name] = size;
+    }
+
+    void
+    skipGateDefinition()
+    {
+        advance(); // 'gate'
+        while (cur_.kind != Tok::LBrace && cur_.kind != Tok::End)
+            advance();
+        int depth = 0;
+        do {
+            if (cur_.kind == Tok::LBrace)
+                ++depth;
+            else if (cur_.kind == Tok::RBrace)
+                --depth;
+            else if (cur_.kind == Tok::End)
+                error("unterminated gate definition");
+            advance();
+        } while (depth > 0);
+    }
+
+    void
+    parseGateApplication()
+    {
+        const std::string name = cur_.text;
+        ir::GateKind kind;
+        if (!ir::gateKindFromName(name, &kind))
+            error("unknown gate '" + name + "'");
+        advance();
+
+        std::vector<double> params;
+        if (accept(Tok::LParen)) {
+            if (cur_.kind != Tok::RParen) {
+                params.push_back(parseExpr());
+                while (accept(Tok::Comma))
+                    params.push_back(parseExpr());
+            }
+            expect(Tok::RParen, "')'");
+        }
+
+        std::vector<int> qubits;
+        qubits.push_back(parseQubitRef());
+        while (accept(Tok::Comma))
+            qubits.push_back(parseQubitRef());
+        expect(Tok::Semi, "';'");
+
+        if (static_cast<int>(qubits.size()) != ir::gateArity(kind))
+            error(support::strcat("gate '", name, "' expects ",
+                                  ir::gateArity(kind), " qubits, got ",
+                                  qubits.size()));
+        if (static_cast<int>(params.size()) != ir::gateParamCount(kind))
+            error(support::strcat("gate '", name, "' expects ",
+                                  ir::gateParamCount(kind),
+                                  " parameters, got ", params.size()));
+        pending_.emplace_back(kind, std::move(qubits), std::move(params));
+    }
+
+    int
+    parseQubitRef()
+    {
+        if (cur_.kind != Tok::Ident)
+            error("expected qubit reference");
+        const std::string name = cur_.text;
+        advance();
+        auto it = registers_.find(name);
+        if (it == registers_.end())
+            error("unknown register '" + name + "'");
+        expect(Tok::LBracket, "'['");
+        if (cur_.kind != Tok::Number)
+            error("expected qubit index");
+        const int idx = static_cast<int>(cur_.number);
+        advance();
+        expect(Tok::RBracket, "']'");
+        if (idx < 0 || idx >= registerSizes_[name])
+            error(support::strcat("qubit index ", idx,
+                                  " out of range for '", name, "'"));
+        return it->second + idx;
+    }
+
+    /** expr := term (('+'|'-') term)* */
+    double
+    parseExpr()
+    {
+        double v = parseTerm();
+        while (true) {
+            if (accept(Tok::Plus))
+                v += parseTerm();
+            else if (accept(Tok::Minus))
+                v -= parseTerm();
+            else
+                return v;
+        }
+    }
+
+    /** term := factor (('*'|'/') factor)* */
+    double
+    parseTerm()
+    {
+        double v = parseFactor();
+        while (true) {
+            if (accept(Tok::Star)) {
+                v *= parseFactor();
+            } else if (accept(Tok::Slash)) {
+                const double d = parseFactor();
+                if (d == 0)
+                    error("division by zero in angle expression");
+                v /= d;
+            } else {
+                return v;
+            }
+        }
+    }
+
+    /** factor := '-' factor | number | 'pi' | '(' expr ')' */
+    double
+    parseFactor()
+    {
+        if (accept(Tok::Minus))
+            return -parseFactor();
+        if (cur_.kind == Tok::Number) {
+            const double v = cur_.number;
+            advance();
+            return v;
+        }
+        if (cur_.kind == Tok::Ident && cur_.text == "pi") {
+            advance();
+            return M_PI;
+        }
+        if (accept(Tok::LParen)) {
+            const double v = parseExpr();
+            expect(Tok::RParen, "')'");
+            return v;
+        }
+        error("expected number, 'pi', or '('");
+    }
+
+    Lexer lexer_;
+    Token cur_;
+    std::map<std::string, int> registers_;
+    std::map<std::string, int> registerSizes_;
+    int totalQubits_ = 0;
+    std::vector<ir::Gate> pending_;
+};
+
+} // namespace
+
+ir::Circuit
+parse(const std::string &source)
+{
+    Parser p(source);
+    return p.parseProgram();
+}
+
+ir::Circuit
+parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        support::fatal("qasm: cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+} // namespace qasm
+} // namespace guoq

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * A recursive-descent parser for the OpenQASM 2.0 subset the printer
+ * emits (and that the public benchmark suites use).
+ *
+ * Supported: OPENQASM/include headers, one or more qreg declarations
+ * (flattened into a single qubit index space), gate applications with
+ * constant-expression parameters (pi, literals, + - * / and unary
+ * minus, parentheses), `barrier` (ignored), comments. `gate`
+ * definitions are skipped — the printer only emits definitions for
+ * gates the parser already knows natively. creg/measure/reset/if are
+ * rejected: this library optimizes pure unitary circuits.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.h"
+
+namespace guoq {
+namespace qasm {
+
+/** Parse an OpenQASM 2.0 program; fatal() with location on error. */
+ir::Circuit parse(const std::string &source);
+
+/** Parse the file at @p path. */
+ir::Circuit parseFile(const std::string &path);
+
+} // namespace qasm
+} // namespace guoq

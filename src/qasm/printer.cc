@@ -1,0 +1,94 @@
+#include "qasm/printer.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace guoq {
+namespace qasm {
+
+namespace {
+
+/** Format an angle with enough digits to round-trip a double. */
+std::string
+angle(double v)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+/**
+ * Header snippets for the gates qelib1.inc does not define. Each is a
+ * self-contained `gate` declaration in terms of qelib1 primitives.
+ */
+const char *const kExtraDefs =
+    "gate sxdg a { s a; h a; s a; }\n"
+    "gate rxx(theta) a, b { h a; h b; cx a, b; rz(theta) b; cx a, b; "
+    "h a; h b; }\n"
+    "gate ccz a, b, c { h c; ccx a, b, c; h c; }\n";
+
+bool
+needsExtraDefs(const ir::Circuit &c)
+{
+    for (const ir::Gate &g : c.gates()) {
+        switch (g.kind) {
+          case ir::GateKind::SXdg:
+          case ir::GateKind::Rxx:
+          case ir::GateKind::CCZ:
+            return true;
+          default:
+            break;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+toQasm(const ir::Circuit &c)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+    if (needsExtraDefs(c))
+        os << kExtraDefs;
+    os << "qreg q[" << c.numQubits() << "];\n";
+    for (const ir::Gate &g : c.gates()) {
+        os << ir::gateName(g.kind);
+        if (!g.params.empty()) {
+            os << "(";
+            for (std::size_t i = 0; i < g.params.size(); ++i) {
+                if (i)
+                    os << ", ";
+                os << angle(g.params[i]);
+            }
+            os << ")";
+        }
+        os << " ";
+        for (std::size_t i = 0; i < g.qubits.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << "q[" << g.qubits[i] << "]";
+        }
+        os << ";\n";
+    }
+    return os.str();
+}
+
+void
+writeQasmFile(const ir::Circuit &c, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        support::fatal("writeQasmFile: cannot open " + path);
+    out << toQasm(c);
+    if (!out)
+        support::fatal("writeQasmFile: write failed for " + path);
+}
+
+} // namespace qasm
+} // namespace guoq

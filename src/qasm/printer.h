@@ -1,0 +1,29 @@
+/**
+ * @file
+ * OpenQASM 2.0 emission. Circuits round-trip through the parser so
+ * benchmark circuits can be exported and inspected with other toolkits.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.h"
+
+namespace guoq {
+namespace qasm {
+
+/**
+ * Render @p c as an OpenQASM 2.0 program.
+ *
+ * Gates outside the qelib1 vocabulary (SX, SXdg, Rxx, CCZ) are emitted
+ * with a matching `gate` definition header so standard parsers accept
+ * the output.
+ */
+std::string toQasm(const ir::Circuit &c);
+
+/** Write toQasm(c) to @p path; fatal() on I/O failure. */
+void writeQasmFile(const ir::Circuit &c, const std::string &path);
+
+} // namespace qasm
+} // namespace guoq

@@ -1,0 +1,157 @@
+#include "rewrite/matcher.h"
+
+#include <cmath>
+
+#include "ir/gate.h"
+
+namespace guoq {
+namespace rewrite {
+
+namespace {
+
+/** Angle equality modulo 2π. */
+bool
+anglesEqual(double a, double b, double tol = 1e-9)
+{
+    return std::abs(ir::normalizeAngle(a - b)) <= tol;
+}
+
+} // namespace
+
+Matcher::Matcher(const ir::Circuit &c) : circuit_(c), dag_(c) {}
+
+std::optional<Match>
+Matcher::matchAt(const RewriteRule &rule, std::size_t anchor) const
+{
+    const auto &gates = circuit_.gates();
+    if (anchor >= gates.size())
+        return std::nullopt;
+
+    const auto &pattern = rule.pattern();
+    Match m;
+    m.gateIndices.reserve(pattern.size());
+    m.qubitBinding.assign(static_cast<std::size_t>(rule.numQubitVars()), -1);
+    m.angleBinding.assign(static_cast<std::size_t>(rule.numAngleVars()),
+                          0.0);
+    std::vector<bool> angle_bound(
+        static_cast<std::size_t>(rule.numAngleVars()), false);
+    // Reverse qubit binding: circuit qubit -> variable (or -1).
+    std::vector<int> var_of(static_cast<std::size_t>(circuit_.numQubits()),
+                            -1);
+    // Last matched gate per circuit qubit (kNoGate when none yet).
+    std::vector<std::size_t> last_on(
+        static_cast<std::size_t>(circuit_.numQubits()), dag::kNoGate);
+    // First matched gate per circuit qubit (for the splice window).
+    std::vector<std::size_t> first_on(
+        static_cast<std::size_t>(circuit_.numQubits()), dag::kNoGate);
+
+    for (std::size_t pj = 0; pj < pattern.size(); ++pj) {
+        const PatternGate &pg = pattern[pj];
+
+        // Find the candidate circuit gate for this pattern gate.
+        std::size_t cand = dag::kNoGate;
+        if (pj == 0) {
+            cand = anchor;
+        } else {
+            // Every wire of pg already bound to a matched wire must
+            // point at the same next gate.
+            for (int qv : pg.qubits) {
+                const int cq = m.qubitBinding[static_cast<std::size_t>(qv)];
+                if (cq < 0 ||
+                    last_on[static_cast<std::size_t>(cq)] == dag::kNoGate)
+                    continue;
+                const std::size_t nxt =
+                    dag_.next(last_on[static_cast<std::size_t>(cq)], cq);
+                if (nxt == dag::kNoGate)
+                    return std::nullopt;
+                if (cand == dag::kNoGate)
+                    cand = nxt;
+                else if (cand != nxt)
+                    return std::nullopt;
+            }
+            // Patterns are connected: a gate with no bound wire cannot
+            // be located deterministically.
+            if (cand == dag::kNoGate)
+                return std::nullopt;
+        }
+
+        const ir::Gate &g = gates[cand];
+        if (g.kind != pg.kind)
+            return std::nullopt;
+
+        // Bind / check qubit variables positionally.
+        for (std::size_t k = 0; k < pg.qubits.size(); ++k) {
+            const int qv = pg.qubits[k];
+            const int cq = g.qubits[k];
+            int &bound = m.qubitBinding[static_cast<std::size_t>(qv)];
+            if (bound < 0) {
+                if (var_of[static_cast<std::size_t>(cq)] != -1)
+                    return std::nullopt; // qubit already taken
+                bound = cq;
+                var_of[static_cast<std::size_t>(cq)] = qv;
+            } else if (bound != cq) {
+                return std::nullopt;
+            }
+        }
+
+        // Bind / check angle variables.
+        for (std::size_t k = 0; k < pg.params.size(); ++k) {
+            const AngleExpr &e = pg.params[k];
+            const double actual = g.params[k];
+            if (e.isBareVar()) {
+                const int v = e.terms[0].first;
+                if (!angle_bound[static_cast<std::size_t>(v)]) {
+                    m.angleBinding[static_cast<std::size_t>(v)] = actual;
+                    angle_bound[static_cast<std::size_t>(v)] = true;
+                    continue;
+                }
+            }
+            // Constraint: all vars must already be bound.
+            for (const auto &[v, coeff] : e.terms) {
+                if (!angle_bound[static_cast<std::size_t>(v)])
+                    return std::nullopt;
+            }
+            if (!anglesEqual(e.eval(m.angleBinding), actual))
+                return std::nullopt;
+        }
+
+        // Record wire bookkeeping.
+        for (int cq : g.qubits) {
+            if (first_on[static_cast<std::size_t>(cq)] == dag::kNoGate)
+                first_on[static_cast<std::size_t>(cq)] = cand;
+            last_on[static_cast<std::size_t>(cq)] = cand;
+        }
+        m.gateIndices.push_back(cand);
+    }
+
+    if (rule.guard() && !rule.guard()(m.angleBinding))
+        return std::nullopt;
+
+    // Splice window: the replacement must go after every outside gate
+    // that precedes the matched run on some bound wire, and before
+    // every outside gate that follows it.
+    std::size_t pos_lo = 0;
+    std::size_t pos_hi = gates.size();
+    for (int qv = 0; qv < rule.numQubitVars(); ++qv) {
+        const int cq = m.qubitBinding[static_cast<std::size_t>(qv)];
+        if (cq < 0)
+            continue; // unused variable (cannot happen for valid rules)
+        const std::size_t f = first_on[static_cast<std::size_t>(cq)];
+        const std::size_t l = last_on[static_cast<std::size_t>(cq)];
+        if (f == dag::kNoGate)
+            continue;
+        const std::size_t p = dag_.prev(f, cq);
+        if (p != dag::kNoGate && p + 1 > pos_lo)
+            pos_lo = p + 1;
+        const std::size_t n = dag_.next(l, cq);
+        if (n != dag::kNoGate && n < pos_hi)
+            pos_hi = n;
+    }
+    if (pos_lo > pos_hi)
+        return std::nullopt;
+    m.insertPos = pos_lo;
+    return m;
+}
+
+} // namespace rewrite
+} // namespace guoq

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Pattern matching for rewrite rules against a circuit.
+ *
+ * A match anchors pattern gate 0 at a circuit gate and extends along
+ * wires: each subsequent pattern gate must be the immediate next gate
+ * (per the DAG) on every wire it shares with already-matched gates, so
+ * matched gates are wire-contiguous by construction. A final splice
+ * check computes the valid insertion window for the replacement; a
+ * match is rejected when no insertion point exists (the "sandwich"
+ * non-convex case where an outside gate both follows and precedes
+ * matched gates).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "dag/circuit_dag.h"
+#include "ir/circuit.h"
+#include "rewrite/rule.h"
+
+namespace guoq {
+namespace rewrite {
+
+/** A successful rule match against a circuit. */
+struct Match
+{
+    /** Circuit gate index matched by each pattern gate. */
+    std::vector<std::size_t> gateIndices;
+    /** Circuit qubit bound to each qubit variable. */
+    std::vector<int> qubitBinding;
+    /** Value bound to each angle variable. */
+    std::vector<double> angleBinding;
+    /**
+     * Replacement insertion point: the replacement block is emitted
+     * immediately before the original gate at this index (or at the
+     * end when it equals the gate count).
+     */
+    std::size_t insertPos = 0;
+};
+
+/** Reusable matcher over one circuit (builds the DAG once). */
+class Matcher
+{
+  public:
+    explicit Matcher(const ir::Circuit &c);
+
+    /**
+     * Try to match @p rule with pattern gate 0 at @p anchor. Returns
+     * std::nullopt when the structure, angles, guard, or splice window
+     * do not admit a match.
+     */
+    std::optional<Match> matchAt(const RewriteRule &rule,
+                                 std::size_t anchor) const;
+
+    const ir::Circuit &circuit() const { return circuit_; }
+
+  private:
+    const ir::Circuit &circuit_;
+    dag::CircuitDag dag_;
+};
+
+} // namespace rewrite
+} // namespace guoq

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Internal: per-gate-set rule library builders plus the tiny DSL the
+ * libraries are written in. Client code uses rulesFor() from rule.h.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "rewrite/rule.h"
+
+namespace guoq {
+namespace rewrite {
+
+/** @name Library builders (one per gate set of Table 2) */
+/** @{ */
+std::vector<RewriteRule> buildIbmq20Rules();
+std::vector<RewriteRule> buildEagleRules();
+std::vector<RewriteRule> buildIonqRules();
+std::vector<RewriteRule> buildNamRules();
+std::vector<RewriteRule> buildCliffordTRules();
+/** @} */
+
+namespace dsl {
+
+/** A pattern/replacement gate template. */
+inline PatternGate
+g(ir::GateKind kind, std::vector<int> qubits,
+  std::vector<AngleExpr> params = {})
+{
+    return PatternGate{kind, std::move(qubits), std::move(params)};
+}
+
+/** The bare angle variable θ_i. */
+inline AngleExpr v(int i) { return AngleExpr::var(i); }
+
+/** A literal angle. */
+inline AngleExpr lit(double c) { return AngleExpr::lit(c); }
+
+/** Guard: θ_i ≈ 0 modulo 2π. */
+AngleGuard zeroGuard(int i);
+
+/** Guard: θ_i ≈ value modulo 2π. */
+AngleGuard equalsGuard(int i, double value);
+
+/** Guard: θ_i + θ_j ≈ 0 modulo 2π. */
+AngleGuard sumZeroGuard(int i, int j);
+
+} // namespace dsl
+
+/**
+ * Rules shared by every CX-based gate set: CX self-cancellation and
+ * the shared-control / shared-target CX commutations (Figs. 3a, 3b).
+ */
+void appendCommonCxRules(std::vector<RewriteRule> *rules);
+
+} // namespace rewrite
+} // namespace guoq

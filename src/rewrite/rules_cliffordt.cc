@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Rule library for the fault-tolerant Clifford+T gate set
+ * {T, T†, S, S†, H, X, CX} (paper Q4).
+ *
+ * The phase hierarchy T² = S, S² = Z drives the T-reduction rules;
+ * diagonal gates commute with each other and across CX controls, which
+ * lets the randomized search shuttle T's together for merging.
+ */
+
+#include "rewrite/rule_libraries.h"
+
+namespace guoq {
+namespace rewrite {
+
+namespace {
+
+using dsl::g;
+using ir::GateKind;
+using P = std::vector<PatternGate>;
+
+/** Append pattern (a b -> empty) and its reverse (b a -> empty). */
+void
+appendInversePair(std::vector<RewriteRule> *rules, const std::string &name,
+                  GateKind a, GateKind b)
+{
+    rules->emplace_back(name, P{g(a, {0}), g(b, {0})}, P{});
+    if (a != b)
+        rules->emplace_back(name + "_rev", P{g(b, {0}), g(a, {0})}, P{});
+}
+
+} // namespace
+
+std::vector<RewriteRule>
+buildCliffordTRules()
+{
+    std::vector<RewriteRule> rules;
+
+    // --- Cancellations ---------------------------------------------------
+    appendInversePair(&rules, "t_tdg_cancel", GateKind::T, GateKind::Tdg);
+    appendInversePair(&rules, "s_sdg_cancel", GateKind::S, GateKind::Sdg);
+    appendInversePair(&rules, "h_h_cancel", GateKind::H, GateKind::H);
+    appendInversePair(&rules, "x_x_cancel", GateKind::X, GateKind::X);
+
+    // --- Phase-gate mergers (the T-count reducers) -------------------------
+    rules.emplace_back("t_t_to_s", P{g(GateKind::T, {0}), g(GateKind::T, {0})},
+                       P{g(GateKind::S, {0})});
+    rules.emplace_back("tdg_tdg_to_sdg",
+                       P{g(GateKind::Tdg, {0}), g(GateKind::Tdg, {0})},
+                       P{g(GateKind::Sdg, {0})});
+    // T S S T = Z Z = I? No: T S S T = T² S² = S Z; kept simple instead:
+    // S S S S = Z² = identity.
+    rules.emplace_back("ssss_cancel",
+                       P{g(GateKind::S, {0}), g(GateKind::S, {0}),
+                         g(GateKind::S, {0}), g(GateKind::S, {0})},
+                       P{});
+    // S† = S Z = S·S·S: normalize S† S† -> S S is wrong; use S†² = Z† = Z
+    // = S². (Both sides are Z modulo nothing — exact.)
+    rules.emplace_back("sdg_sdg_to_s_s",
+                       P{g(GateKind::Sdg, {0}), g(GateKind::Sdg, {0})},
+                       P{g(GateKind::S, {0}), g(GateKind::S, {0})});
+
+    // --- Pauli conjugations (mod global phase) ------------------------------
+    // X T X = e^{iπ/4} T†.
+    rules.emplace_back("x_t_x_to_tdg",
+                       P{g(GateKind::X, {0}), g(GateKind::T, {0}),
+                         g(GateKind::X, {0})},
+                       P{g(GateKind::Tdg, {0})});
+    rules.emplace_back("x_tdg_x_to_t",
+                       P{g(GateKind::X, {0}), g(GateKind::Tdg, {0}),
+                         g(GateKind::X, {0})},
+                       P{g(GateKind::T, {0})});
+    rules.emplace_back("x_s_x_to_sdg",
+                       P{g(GateKind::X, {0}), g(GateKind::S, {0}),
+                         g(GateKind::X, {0})},
+                       P{g(GateKind::Sdg, {0})});
+    rules.emplace_back("x_sdg_x_to_s",
+                       P{g(GateKind::X, {0}), g(GateKind::Sdg, {0}),
+                         g(GateKind::X, {0})},
+                       P{g(GateKind::S, {0})});
+
+    // --- Hadamard conjugations ------------------------------------------------
+    // H X H = Z = S S.
+    rules.emplace_back("h_x_h_to_ss",
+                       P{g(GateKind::H, {0}), g(GateKind::X, {0}),
+                         g(GateKind::H, {0})},
+                       P{g(GateKind::S, {0}), g(GateKind::S, {0})});
+    // H S S H = H Z H = X: 4 -> 1.
+    rules.emplace_back("h_ss_h_to_x",
+                       P{g(GateKind::H, {0}), g(GateKind::S, {0}),
+                         g(GateKind::S, {0}), g(GateKind::H, {0})},
+                       P{g(GateKind::X, {0})});
+
+    // --- Diagonal reordering (canonicalize: T's drift left) ----------------
+    rules.emplace_back("s_t_reorder", P{g(GateKind::S, {0}),
+                                        g(GateKind::T, {0})},
+                       P{g(GateKind::T, {0}), g(GateKind::S, {0})});
+    rules.emplace_back("sdg_t_reorder", P{g(GateKind::Sdg, {0}),
+                                          g(GateKind::T, {0})},
+                       P{g(GateKind::T, {0}), g(GateKind::Sdg, {0})});
+    rules.emplace_back("s_tdg_reorder", P{g(GateKind::S, {0}),
+                                          g(GateKind::Tdg, {0})},
+                       P{g(GateKind::Tdg, {0}), g(GateKind::S, {0})});
+
+    // --- CX interactions ----------------------------------------------------
+    appendCommonCxRules(&rules);
+    for (GateKind diag :
+         {GateKind::T, GateKind::Tdg, GateKind::S, GateKind::Sdg}) {
+        rules.emplace_back(
+            ir::gateName(diag) + "_commute_cx_control",
+            P{g(diag, {0}), g(GateKind::CX, {0, 1})},
+            P{g(GateKind::CX, {0, 1}), g(diag, {0})});
+        rules.emplace_back(
+            "cx_" + ir::gateName(diag) + "_control_commute",
+            P{g(GateKind::CX, {0, 1}), g(diag, {0})},
+            P{g(diag, {0}), g(GateKind::CX, {0, 1})});
+    }
+    rules.emplace_back("x_commute_cx_target",
+                       P{g(GateKind::X, {1}), g(GateKind::CX, {0, 1})},
+                       P{g(GateKind::CX, {0, 1}), g(GateKind::X, {1})});
+    rules.emplace_back("hh_cx_hh_flip",
+                       P{g(GateKind::H, {0}), g(GateKind::H, {1}),
+                         g(GateKind::CX, {0, 1}), g(GateKind::H, {0}),
+                         g(GateKind::H, {1})},
+                       P{g(GateKind::CX, {1, 0})});
+
+    return rules;
+}
+
+} // namespace rewrite
+} // namespace guoq

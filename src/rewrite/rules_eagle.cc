@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Rule library for the IBM Eagle gate set {Rz, SX, X, CX} — the basis
+ * of IBM's 127-qubit Eagle processors. SX = √X is exact (SX² = X), so
+ * several three-gate identities collapse to one or zero gates.
+ */
+
+#include <cmath>
+
+#include "rewrite/rule_libraries.h"
+
+namespace guoq {
+namespace rewrite {
+
+std::vector<RewriteRule>
+buildEagleRules()
+{
+    using namespace dsl;
+    using ir::GateKind;
+    using P = std::vector<PatternGate>;
+
+    std::vector<RewriteRule> rules;
+
+    // --- Cancellations --------------------------------------------------
+    rules.emplace_back("x_x_cancel",
+                       P{g(GateKind::X, {0}), g(GateKind::X, {0})}, P{});
+    // SX SX = X exactly: 2 -> 1.
+    rules.emplace_back("sx_sx_to_x",
+                       P{g(GateKind::SX, {0}), g(GateKind::SX, {0})},
+                       P{g(GateKind::X, {0})});
+    // SX X SX = SX⁴ = I: 3 -> 0.
+    rules.emplace_back("sx_x_sx_cancel",
+                       P{g(GateKind::SX, {0}), g(GateKind::X, {0}),
+                         g(GateKind::SX, {0})},
+                       P{});
+
+    // --- Rz algebra -------------------------------------------------------
+    rules.emplace_back(
+        "rz_merge",
+        P{g(GateKind::Rz, {0}, {v(0)}), g(GateKind::Rz, {0}, {v(1)})},
+        P{g(GateKind::Rz, {0}, {AngleExpr::sum(0, 1)})});
+    rules.emplace_back("rz_zero_drop", P{g(GateKind::Rz, {0}, {v(0)})}, P{},
+                       zeroGuard(0));
+    rules.emplace_back("x_rz_x_flip",
+                       P{g(GateKind::X, {0}), g(GateKind::Rz, {0}, {v(0)}),
+                         g(GateKind::X, {0})},
+                       P{g(GateKind::Rz, {0}, {AngleExpr::neg(0)})});
+    rules.emplace_back("rz_x_commute",
+                       P{g(GateKind::Rz, {0}, {v(0)}), g(GateKind::X, {0})},
+                       P{g(GateKind::X, {0}),
+                         g(GateKind::Rz, {0}, {AngleExpr::neg(0)})});
+
+    // SX Rz(π) SX = Rz(π) modulo phase (Rx(π/2) Z Rx(π/2) = Z): 3 -> 1.
+    rules.emplace_back("sx_rzpi_sx",
+                       P{g(GateKind::SX, {0}), g(GateKind::Rz, {0}, {v(0)}),
+                         g(GateKind::SX, {0})},
+                       P{g(GateKind::Rz, {0}, {lit(M_PI)})},
+                       equalsGuard(0, M_PI));
+
+    // --- CX interactions ---------------------------------------------------
+    appendCommonCxRules(&rules);
+    rules.emplace_back(
+        "rz_commute_cx_control",
+        P{g(GateKind::Rz, {0}, {v(0)}), g(GateKind::CX, {0, 1})},
+        P{g(GateKind::CX, {0, 1}), g(GateKind::Rz, {0}, {v(0)})});
+    rules.emplace_back(
+        "cx_rz_control_commute",
+        P{g(GateKind::CX, {0, 1}), g(GateKind::Rz, {0}, {v(0)})},
+        P{g(GateKind::Rz, {0}, {v(0)}), g(GateKind::CX, {0, 1})});
+    rules.emplace_back("x_commute_cx_target",
+                       P{g(GateKind::X, {1}), g(GateKind::CX, {0, 1})},
+                       P{g(GateKind::CX, {0, 1}), g(GateKind::X, {1})});
+
+    return rules;
+}
+
+} // namespace rewrite
+} // namespace guoq

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Rule library for the IBM Q20 gate set {U1, U2, U3, CX}.
+ *
+ * The U-family composes affinely in several useful cases: U1's merge
+ * outright, and a U1 absorbs into the adjacent Euler angle of a U2/U3
+ * (U3(θ,φ,λ) ∝ Rz(φ) Ry(θ) Rz(λ), U1(a) = Rz(a) up to phase). Full
+ * U3·U3 fusion is not affine and is handled by the 1q-fusion
+ * transformation in core/ instead.
+ */
+
+#include <cmath>
+
+#include "rewrite/rule_libraries.h"
+
+namespace guoq {
+namespace rewrite {
+
+std::vector<RewriteRule>
+buildIbmq20Rules()
+{
+    using namespace dsl;
+    using ir::GateKind;
+    using P = std::vector<PatternGate>;
+
+    std::vector<RewriteRule> rules;
+
+    // --- U1 algebra -----------------------------------------------------
+    rules.emplace_back(
+        "u1_merge",
+        P{g(GateKind::U1, {0}, {v(0)}), g(GateKind::U1, {0}, {v(1)})},
+        P{g(GateKind::U1, {0}, {AngleExpr::sum(0, 1)})});
+    rules.emplace_back("u1_zero_drop", P{g(GateKind::U1, {0}, {v(0)})}, P{},
+                       zeroGuard(0));
+
+    // U1(a) then U3(θ,φ,λ) = U3(θ, φ, λ+a): the phase absorbs into the
+    // inner Euler angle. 2 -> 1.
+    rules.emplace_back(
+        "u1_u3_merge",
+        P{g(GateKind::U1, {0}, {v(0)}),
+          g(GateKind::U3, {0}, {v(1), v(2), v(3)})},
+        P{g(GateKind::U3, {0}, {v(1), v(2), AngleExpr::sum(3, 0)})});
+
+    // U3(θ,φ,λ) then U1(a) = U3(θ, φ+a, λ). 2 -> 1.
+    rules.emplace_back(
+        "u3_u1_merge",
+        P{g(GateKind::U3, {0}, {v(1), v(2), v(3)}),
+          g(GateKind::U1, {0}, {v(0)})},
+        P{g(GateKind::U3, {0}, {v(1), AngleExpr::sum(2, 0), v(3)})});
+
+    // Same absorptions for U2 (= U3 with θ = π/2).
+    rules.emplace_back(
+        "u1_u2_merge",
+        P{g(GateKind::U1, {0}, {v(0)}), g(GateKind::U2, {0}, {v(1), v(2)})},
+        P{g(GateKind::U2, {0}, {v(1), AngleExpr::sum(2, 0)})});
+    rules.emplace_back(
+        "u2_u1_merge",
+        P{g(GateKind::U2, {0}, {v(1), v(2)}), g(GateKind::U1, {0}, {v(0)})},
+        P{g(GateKind::U2, {0}, {AngleExpr::sum(1, 0), v(2)})});
+
+    // U3 with θ ≈ 0 degenerates to a phase: U3(0,φ,λ) = U1(φ+λ).
+    rules.emplace_back("u3_theta0_to_u1",
+                       P{g(GateKind::U3, {0}, {v(0), v(1), v(2)})},
+                       P{g(GateKind::U1, {0}, {AngleExpr::sum(1, 2)})},
+                       zeroGuard(0));
+
+    // U2(a,b) U2(c,d) with b+c ≈ 0 collapses the Ry(π/2) pair into
+    // Ry(π): result is U3(π, c-... ) — in time order, first U2(a,b)
+    // then U2(c,d) gives U3(π, c, b) modulo phase.
+    rules.emplace_back(
+        "u2_u2_pi_merge",
+        P{g(GateKind::U2, {0}, {v(0), v(1)}),
+          g(GateKind::U2, {0}, {v(2), v(3)})},
+        P{g(GateKind::U3, {0}, {lit(M_PI), v(2), v(1)})},
+        sumZeroGuard(1, 2));
+
+    // --- CX interactions ---------------------------------------------------
+    appendCommonCxRules(&rules);
+    rules.emplace_back(
+        "u1_commute_cx_control",
+        P{g(GateKind::U1, {0}, {v(0)}), g(GateKind::CX, {0, 1})},
+        P{g(GateKind::CX, {0, 1}), g(GateKind::U1, {0}, {v(0)})});
+    rules.emplace_back(
+        "cx_u1_control_commute",
+        P{g(GateKind::CX, {0, 1}), g(GateKind::U1, {0}, {v(0)})},
+        P{g(GateKind::U1, {0}, {v(0)}), g(GateKind::CX, {0, 1})});
+
+    return rules;
+}
+
+} // namespace rewrite
+} // namespace guoq

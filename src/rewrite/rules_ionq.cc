@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Rule library for the IonQ native gate set {Rx, Ry, Rz, Rxx}.
+ *
+ * The ion-trap entangler Rxx(θ) = exp(-i θ/2 X⊗X) commutes with Rx on
+ * either qubit and with other Rxx's sharing a qubit (all are generated
+ * by commuting X-tensor terms). Same-axis rotations merge; mixed-axis
+ * 1q chains are left to the Euler-fusion transformation.
+ */
+
+#include <cmath>
+
+#include "rewrite/rule_libraries.h"
+
+namespace guoq {
+namespace rewrite {
+
+namespace {
+
+using dsl::g;
+using dsl::lit;
+using dsl::v;
+using ir::GateKind;
+using P = std::vector<PatternGate>;
+
+/** Append merge + zero-drop for a same-axis 1q rotation kind. */
+void
+appendRotationAlgebra(std::vector<RewriteRule> *rules, GateKind kind,
+                      const std::string &axis)
+{
+    rules->emplace_back(
+        axis + "_merge",
+        P{g(kind, {0}, {v(0)}), g(kind, {0}, {v(1)})},
+        P{g(kind, {0}, {AngleExpr::sum(0, 1)})});
+    rules->emplace_back(axis + "_zero_drop", P{g(kind, {0}, {v(0)})}, P{},
+                        dsl::zeroGuard(0));
+}
+
+} // namespace
+
+std::vector<RewriteRule>
+buildIonqRules()
+{
+    std::vector<RewriteRule> rules;
+
+    appendRotationAlgebra(&rules, GateKind::Rx, "rx");
+    appendRotationAlgebra(&rules, GateKind::Ry, "ry");
+    appendRotationAlgebra(&rules, GateKind::Rz, "rz");
+
+    // Rxx merge and zero drop on a fixed qubit pair.
+    rules.emplace_back(
+        "rxx_merge",
+        P{g(GateKind::Rxx, {0, 1}, {v(0)}),
+          g(GateKind::Rxx, {0, 1}, {v(1)})},
+        P{g(GateKind::Rxx, {0, 1}, {AngleExpr::sum(0, 1)})});
+    rules.emplace_back("rxx_zero_drop",
+                       P{g(GateKind::Rxx, {0, 1}, {v(0)})}, P{},
+                       dsl::zeroGuard(0));
+
+    // Rx commutes with Rxx on either slot (X commutes with X⊗X).
+    rules.emplace_back(
+        "rx_commute_rxx_first",
+        P{g(GateKind::Rx, {0}, {v(0)}), g(GateKind::Rxx, {0, 1}, {v(1)})},
+        P{g(GateKind::Rxx, {0, 1}, {v(1)}), g(GateKind::Rx, {0}, {v(0)})});
+    rules.emplace_back(
+        "rx_commute_rxx_second",
+        P{g(GateKind::Rx, {1}, {v(0)}), g(GateKind::Rxx, {0, 1}, {v(1)})},
+        P{g(GateKind::Rxx, {0, 1}, {v(1)}), g(GateKind::Rx, {1}, {v(0)})});
+    rules.emplace_back(
+        "rxx_rx_commute_first",
+        P{g(GateKind::Rxx, {0, 1}, {v(1)}), g(GateKind::Rx, {0}, {v(0)})},
+        P{g(GateKind::Rx, {0}, {v(0)}), g(GateKind::Rxx, {0, 1}, {v(1)})});
+
+    // Rxx's sharing their first qubit commute.
+    rules.emplace_back(
+        "rxx_commute_shared_first",
+        P{g(GateKind::Rxx, {0, 1}, {v(0)}),
+          g(GateKind::Rxx, {0, 2}, {v(1)})},
+        P{g(GateKind::Rxx, {0, 2}, {v(1)}),
+          g(GateKind::Rxx, {0, 1}, {v(0)})});
+
+    // Rx(π) Rz(θ) Rx(π) = Rz(-θ) modulo phase: 3 -> 1.
+    rules.emplace_back(
+        "rxpi_rz_rxpi_flip",
+        P{g(GateKind::Rx, {0}, {v(0)}), g(GateKind::Rz, {0}, {v(1)}),
+          g(GateKind::Rx, {0}, {v(2)})},
+        P{g(GateKind::Rz, {0}, {AngleExpr::neg(1)})},
+        [](const std::vector<double> &a) {
+            return std::abs(ir::normalizeAngle(a[0] - M_PI)) <= 1e-9 &&
+                   std::abs(ir::normalizeAngle(a[2] - M_PI)) <= 1e-9;
+        });
+
+    return rules;
+}
+
+} // namespace rewrite
+} // namespace guoq

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Rule library for the Nam gate set {Rz, H, X, CX} (Nam et al. 2018).
+ * All rules are exact modulo global phase; the test suite validates
+ * every rule against the unitary simulator on random angles.
+ */
+
+#include <cmath>
+
+#include "rewrite/rule_libraries.h"
+
+namespace guoq {
+namespace rewrite {
+
+std::vector<RewriteRule>
+buildNamRules()
+{
+    using namespace dsl;
+    using ir::GateKind;
+    using P = std::vector<PatternGate>;
+
+    std::vector<RewriteRule> rules;
+
+    // --- Involution cancellations -------------------------------------
+    rules.emplace_back("h_h_cancel",
+                       P{g(GateKind::H, {0}), g(GateKind::H, {0})}, P{});
+    rules.emplace_back("x_x_cancel",
+                       P{g(GateKind::X, {0}), g(GateKind::X, {0})}, P{});
+
+    // --- Rz algebra (Fig. 3d and friends) -----------------------------
+    rules.emplace_back(
+        "rz_merge",
+        P{g(GateKind::Rz, {0}, {v(0)}), g(GateKind::Rz, {0}, {v(1)})},
+        P{g(GateKind::Rz, {0}, {AngleExpr::sum(0, 1)})});
+    rules.emplace_back("rz_zero_drop", P{g(GateKind::Rz, {0}, {v(0)})}, P{},
+                       zeroGuard(0));
+
+    // X Rz(θ) X = Rz(-θ) exactly.
+    rules.emplace_back("x_rz_x_flip",
+                       P{g(GateKind::X, {0}), g(GateKind::Rz, {0}, {v(0)}),
+                         g(GateKind::X, {0})},
+                       P{g(GateKind::Rz, {0}, {AngleExpr::neg(0)})});
+
+    // Rz(θ) X = X Rz(-θ): moves X's left so x_x_cancel can fire.
+    rules.emplace_back("rz_x_commute",
+                       P{g(GateKind::Rz, {0}, {v(0)}), g(GateKind::X, {0})},
+                       P{g(GateKind::X, {0}),
+                         g(GateKind::Rz, {0}, {AngleExpr::neg(0)})});
+
+    // --- Hadamard conjugations (mod global phase) ----------------------
+    // H X H = Z ~ Rz(π).
+    rules.emplace_back("h_x_h_to_rz",
+                       P{g(GateKind::H, {0}), g(GateKind::X, {0}),
+                         g(GateKind::H, {0})},
+                       P{g(GateKind::Rz, {0}, {lit(M_PI)})});
+    // H Rz(π) H = X modulo phase.
+    rules.emplace_back("h_rzpi_h_to_x",
+                       P{g(GateKind::H, {0}), g(GateKind::Rz, {0}, {v(0)}),
+                         g(GateKind::H, {0})},
+                       P{g(GateKind::X, {0})}, equalsGuard(0, M_PI));
+
+    // --- CX interactions ------------------------------------------------
+    appendCommonCxRules(&rules);
+
+    // Fig. 3c: Rz on the control commutes across CX (both directions
+    // so the randomized search can shuttle rotations either way).
+    rules.emplace_back(
+        "rz_commute_cx_control",
+        P{g(GateKind::Rz, {0}, {v(0)}), g(GateKind::CX, {0, 1})},
+        P{g(GateKind::CX, {0, 1}), g(GateKind::Rz, {0}, {v(0)})});
+    rules.emplace_back(
+        "cx_rz_control_commute",
+        P{g(GateKind::CX, {0, 1}), g(GateKind::Rz, {0}, {v(0)})},
+        P{g(GateKind::Rz, {0}, {v(0)}), g(GateKind::CX, {0, 1})});
+
+    // X on the target commutes across CX.
+    rules.emplace_back("x_commute_cx_target",
+                       P{g(GateKind::X, {1}), g(GateKind::CX, {0, 1})},
+                       P{g(GateKind::CX, {0, 1}), g(GateKind::X, {1})});
+
+    // (H ⊗ H) CX (H ⊗ H) reverses the CX direction: 5 gates -> 1.
+    rules.emplace_back("hh_cx_hh_flip",
+                       P{g(GateKind::H, {0}), g(GateKind::H, {1}),
+                         g(GateKind::CX, {0, 1}), g(GateKind::H, {0}),
+                         g(GateKind::H, {1})},
+                       P{g(GateKind::CX, {1, 0})});
+
+    return rules;
+}
+
+} // namespace rewrite
+} // namespace guoq

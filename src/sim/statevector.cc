@@ -1,0 +1,100 @@
+#include "sim/statevector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace guoq {
+namespace sim {
+
+using linalg::Complex;
+
+StateVector::StateVector(int num_qubits)
+    : numQubits_(num_qubits),
+      amps_(std::size_t{1} << num_qubits, Complex{})
+{
+    if (num_qubits < 0 || num_qubits > 24)
+        support::panic("StateVector: unsupported qubit count");
+    amps_[0] = 1.0;
+}
+
+void
+StateVector::apply(const ir::Gate &gate)
+{
+    const int m = gate.arity();
+    const std::size_t span = std::size_t{1} << m;
+    const auto g = gate.matrix();
+
+    std::vector<int> bitpos(static_cast<std::size_t>(m));
+    for (int k = 0; k < m; ++k)
+        bitpos[static_cast<std::size_t>(k)] =
+            numQubits_ - 1 - gate.qubits[static_cast<std::size_t>(k)];
+
+    std::vector<std::size_t> offset(span, 0);
+    for (std::size_t a = 0; a < span; ++a)
+        for (int k = 0; k < m; ++k)
+            if (a & (std::size_t{1} << (m - 1 - k)))
+                offset[a] |= std::size_t{1}
+                             << bitpos[static_cast<std::size_t>(k)];
+
+    std::vector<int> sorted_pos = bitpos;
+    std::sort(sorted_pos.begin(), sorted_pos.end());
+
+    const std::size_t groups = amps_.size() >> m;
+    std::vector<Complex> in(span), out(span);
+    for (std::size_t i = 0; i < groups; ++i) {
+        std::size_t base = i;
+        for (int p : sorted_pos) {
+            const std::size_t low = base & ((std::size_t{1} << p) - 1);
+            base = ((base >> p) << (p + 1)) | low;
+        }
+        for (std::size_t a = 0; a < span; ++a)
+            in[a] = amps_[base + offset[a]];
+        for (std::size_t a = 0; a < span; ++a) {
+            Complex acc = 0;
+            for (std::size_t b = 0; b < span; ++b)
+                acc += g(a, b) * in[b];
+            out[a] = acc;
+        }
+        for (std::size_t a = 0; a < span; ++a)
+            amps_[base + offset[a]] = out[a];
+    }
+}
+
+void
+StateVector::apply(const ir::Circuit &c)
+{
+    if (c.numQubits() != numQubits_)
+        support::panic("StateVector::apply: qubit count mismatch");
+    for (const ir::Gate &g : c.gates())
+        apply(g);
+}
+
+double
+StateVector::probability(std::size_t index) const
+{
+    return std::norm(amps_[index]);
+}
+
+double
+StateVector::overlap(const StateVector &other) const
+{
+    if (other.amps_.size() != amps_.size())
+        support::panic("StateVector::overlap: size mismatch");
+    Complex acc = 0;
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        acc += std::conj(amps_[i]) * other.amps_[i];
+    return std::abs(acc);
+}
+
+StateVector
+runCircuit(const ir::Circuit &c)
+{
+    StateVector sv(c.numQubits());
+    sv.apply(c);
+    return sv;
+}
+
+} // namespace sim
+} // namespace guoq

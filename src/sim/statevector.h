@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Statevector simulation — cheaper than the full unitary (O(2^n) per
+ * gate) and used by tests and examples to compare circuit behaviour on
+ * concrete inputs up to ~20 qubits.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.h"
+#include "linalg/complex_matrix.h"
+
+namespace guoq {
+namespace sim {
+
+/** A normalized 2^n state vector (qubit 0 = MSB, as in unitary_sim). */
+class StateVector
+{
+  public:
+    /** |0...0> on @p num_qubits qubits. */
+    explicit StateVector(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+    std::size_t dim() const { return amps_.size(); }
+
+    const std::vector<linalg::Complex> &amplitudes() const { return amps_; }
+
+    /** Apply one gate in place. */
+    void apply(const ir::Gate &gate);
+
+    /** Apply a whole circuit in place. */
+    void apply(const ir::Circuit &c);
+
+    /** Probability of measuring basis state @p index. */
+    double probability(std::size_t index) const;
+
+    /** Inner-product magnitude |<this|other>|. */
+    double overlap(const StateVector &other) const;
+
+  private:
+    int numQubits_;
+    std::vector<linalg::Complex> amps_;
+};
+
+/** Run @p c on |0...0> and return the final state. */
+StateVector runCircuit(const ir::Circuit &c);
+
+} // namespace sim
+} // namespace guoq

@@ -1,0 +1,114 @@
+#include "sim/unitary_sim.h"
+
+#include <algorithm>
+#include <array>
+
+#include "linalg/unitary.h"
+#include "support/logging.h"
+
+namespace guoq {
+namespace sim {
+
+using linalg::Complex;
+using linalg::ComplexMatrix;
+
+namespace {
+
+/**
+ * Expand @p i by inserting zero bits at the (ascending) positions in
+ * @p pos — the standard enumeration of base indices whose gate-qubit
+ * bits are all zero.
+ */
+std::size_t
+expandIndex(std::size_t i, const std::vector<int> &pos)
+{
+    std::size_t r = i;
+    for (int p : pos) {
+        const std::size_t low = r & ((std::size_t{1} << p) - 1);
+        r = ((r >> p) << (p + 1)) | low;
+    }
+    return r;
+}
+
+} // namespace
+
+void
+applyGate(ComplexMatrix &u, const ir::Gate &gate, int num_qubits)
+{
+    const int m = gate.arity();
+    const std::size_t dim = std::size_t{1} << num_qubits;
+    const std::size_t span = std::size_t{1} << m;
+    if (u.rows() != dim || u.cols() != dim)
+        support::panic("applyGate: matrix size mismatch");
+
+    const ComplexMatrix g = gate.matrix();
+
+    // Bit position of each gate qubit; gate.qubits[0] is the MSB of the
+    // gate's local index.
+    std::vector<int> bitpos(static_cast<std::size_t>(m));
+    for (int k = 0; k < m; ++k)
+        bitpos[static_cast<std::size_t>(k)] =
+            num_qubits - 1 - gate.qubits[static_cast<std::size_t>(k)];
+
+    // Offsets: local index a -> global offset of its set bits.
+    std::vector<std::size_t> offset(span, 0);
+    for (std::size_t a = 0; a < span; ++a)
+        for (int k = 0; k < m; ++k)
+            if (a & (std::size_t{1} << (m - 1 - k)))
+                offset[a] |= std::size_t{1}
+                             << bitpos[static_cast<std::size_t>(k)];
+
+    std::vector<int> sorted_pos = bitpos;
+    std::sort(sorted_pos.begin(), sorted_pos.end());
+
+    const std::size_t groups = dim >> m;
+    std::vector<Complex> in(span), out(span);
+    Complex *data = u.data();
+
+    for (std::size_t col = 0; col < dim; ++col) {
+        for (std::size_t i = 0; i < groups; ++i) {
+            const std::size_t base = expandIndex(i, sorted_pos);
+            for (std::size_t a = 0; a < span; ++a)
+                in[a] = data[(base + offset[a]) * dim + col];
+            for (std::size_t a = 0; a < span; ++a) {
+                Complex acc = 0;
+                for (std::size_t b = 0; b < span; ++b)
+                    acc += g(a, b) * in[b];
+                out[a] = acc;
+            }
+            for (std::size_t a = 0; a < span; ++a)
+                data[(base + offset[a]) * dim + col] = out[a];
+        }
+    }
+}
+
+ComplexMatrix
+circuitUnitary(const ir::Circuit &c)
+{
+    if (c.numQubits() > kMaxUnitaryQubits)
+        support::panic(support::strcat("circuitUnitary: ", c.numQubits(),
+                                       " qubits exceeds cap of ",
+                                       kMaxUnitaryQubits));
+    const std::size_t dim = std::size_t{1} << c.numQubits();
+    ComplexMatrix u = ComplexMatrix::identity(dim);
+    for (const ir::Gate &g : c.gates())
+        applyGate(u, g, c.numQubits());
+    return u;
+}
+
+double
+circuitDistance(const ir::Circuit &a, const ir::Circuit &b)
+{
+    if (a.numQubits() != b.numQubits())
+        support::panic("circuitDistance: qubit count mismatch");
+    return linalg::hsDistance(circuitUnitary(a), circuitUnitary(b));
+}
+
+bool
+circuitsEquivalent(const ir::Circuit &a, const ir::Circuit &b, double eps)
+{
+    return circuitDistance(a, b) <= eps;
+}
+
+} // namespace sim
+} // namespace guoq

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Circuit-to-unitary evaluation (the semantics function of paper §3).
+ *
+ * Bit convention: circuit qubit 0 is the most significant bit of the
+ * 2^n-dimensional index, matching the paper's Example 3.1 where
+ * U_C = U_CX (I ⊗ U_T) for C = T q1; CX q0 q1.
+ *
+ * Complexity is O(4^n) memory, so this is reserved for subcircuits
+ * (resynthesis, ≤ 4 qubits) and for test oracles (≤ 10 qubits).
+ */
+
+#pragma once
+
+#include "ir/circuit.h"
+#include "linalg/complex_matrix.h"
+
+namespace guoq {
+namespace sim {
+
+/** Hard cap for full-unitary evaluation (memory safety). */
+constexpr int kMaxUnitaryQubits = 12;
+
+/**
+ * Apply @p gate (acting on circuit qubits @p gate.qubits) to every
+ * column of @p u in place; i.e. u <- G_full * u. @p num_qubits is the
+ * circuit width (u is 2^n x 2^n).
+ */
+void applyGate(linalg::ComplexMatrix &u, const ir::Gate &gate,
+               int num_qubits);
+
+/** The full 2^n x 2^n unitary U_C of @p c. */
+linalg::ComplexMatrix circuitUnitary(const ir::Circuit &c);
+
+/** Hilbert–Schmidt distance between two circuits' unitaries. */
+double circuitDistance(const ir::Circuit &a, const ir::Circuit &b);
+
+/** ε-equivalence of circuits (Def. 3.3) via full unitaries. */
+bool circuitsEquivalent(const ir::Circuit &a, const ir::Circuit &b,
+                        double eps = 1e-9);
+
+} // namespace sim
+} // namespace guoq

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal logging and error-reporting helpers (gem5-style fatal/panic).
+ */
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace guoq {
+namespace support {
+
+/** Verbosity levels for inform(). */
+enum class LogLevel { Quiet, Info, Debug };
+
+/** Global log level; benches lower it, tests keep it quiet. */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/** Print an informational message when level permits. */
+void inform(const std::string &msg);
+void debugLog(const std::string &msg);
+
+/** Warn about suspicious-but-survivable conditions. */
+void warn(const std::string &msg);
+
+/**
+ * Abort due to an internal invariant violation (a bug in this library).
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Exit due to a user error (bad arguments, malformed input file).
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Build a message from streamable parts. */
+template <typename... Args>
+std::string
+strcat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace support
+} // namespace guoq

@@ -1,0 +1,50 @@
+#include "support/options.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace guoq {
+namespace support {
+
+double
+envDouble(const std::string &name, double fallback)
+{
+    const char *v = std::getenv(name.c_str());
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const double x = std::strtod(v, &end);
+    return end && *end == '\0' ? x : fallback;
+}
+
+int
+envInt(const std::string &name, int fallback)
+{
+    const char *v = std::getenv(name.c_str());
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const long x = std::strtol(v, &end, 10);
+    return end && *end == '\0' ? static_cast<int>(x) : fallback;
+}
+
+double
+benchScale()
+{
+    return envDouble("GUOQ_BENCH_SCALE", 1.0);
+}
+
+int
+benchTrials()
+{
+    return envInt("GUOQ_BENCH_TRIALS", 3);
+}
+
+std::uint64_t
+benchSeed()
+{
+    return static_cast<std::uint64_t>(envInt("GUOQ_BENCH_SEED", 12345));
+}
+
+} // namespace support
+} // namespace guoq

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Environment-variable options for the benchmark harnesses.
+ *
+ * The paper gives every tool 1 hour per circuit; that is impractical in
+ * CI, so the harnesses read a global scale factor and per-run budgets
+ * from the environment:
+ *
+ *   GUOQ_BENCH_SCALE   multiply all search budgets (default 1.0)
+ *   GUOQ_BENCH_TRIALS  trials per (circuit, tool) pair (default 3)
+ *   GUOQ_BENCH_SEED    base RNG seed (default 12345)
+ */
+
+#pragma once
+
+#include <string>
+
+namespace guoq {
+namespace support {
+
+/** Read env var @p name as double, or @p fallback when unset/bad. */
+double envDouble(const std::string &name, double fallback);
+
+/** Read env var @p name as int, or @p fallback when unset/bad. */
+int envInt(const std::string &name, int fallback);
+
+/** Global benchmark scale factor (GUOQ_BENCH_SCALE). */
+double benchScale();
+
+/** Trials per experiment cell (GUOQ_BENCH_TRIALS). */
+int benchTrials();
+
+/** Base seed for the harnesses (GUOQ_BENCH_SEED). */
+std::uint64_t benchSeed();
+
+} // namespace support
+} // namespace guoq

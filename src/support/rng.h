@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the optimizer.
+ *
+ * All randomized components (GUOQ's transformation sampling, subcircuit
+ * selection, synthesis search, workload generators) draw from this one
+ * generator type so that a single seed reproduces an entire run.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace guoq {
+namespace support {
+
+/**
+ * Small, fast, seedable RNG (xoshiro256**).
+ *
+ * Satisfies UniformRandomBitGenerator so it can drive the standard
+ * distributions, and offers convenience helpers for the common cases in
+ * the optimizer loop.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed via splitmix64 state expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step: guarantees a well-mixed nonzero state
+            // even for small consecutive seeds.
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::size_t
+    index(std::size_t n)
+    {
+        // Lemire-style rejection-free bounded draw is overkill here;
+        // modulo bias is negligible for n << 2^64.
+        return static_cast<std::size_t>((*this)() % n);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Fork a child generator (for parallel/async subtasks). */
+    Rng
+    fork()
+    {
+        return Rng((*this)() ^ 0xd1b54a32d192ed03ull);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace support
+} // namespace guoq

@@ -1,0 +1,48 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace guoq {
+namespace support {
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    Summary s;
+    s.n = xs.size();
+    if (xs.empty())
+        return s;
+    double sum = 0;
+    s.minv = xs[0];
+    s.maxv = xs[0];
+    for (double x : xs) {
+        sum += x;
+        s.minv = std::min(s.minv, x);
+        s.maxv = std::max(s.maxv, x);
+    }
+    s.mean = sum / static_cast<double>(s.n);
+    double ss = 0;
+    for (double x : xs)
+        ss += (x - s.mean) * (x - s.mean);
+    if (s.n > 1) {
+        s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+        // Normal-approximation 95% CI half-width; adequate for the
+        // small trial counts used in the harnesses.
+        s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(s.n));
+    }
+    return s;
+}
+
+CompareOutcome
+compareMeans(double guoq, double other, double tol)
+{
+    if (guoq > other + tol)
+        return CompareOutcome::Better;
+    if (guoq < other - tol)
+        return CompareOutcome::Worse;
+    return CompareOutcome::Match;
+}
+
+} // namespace support
+} // namespace guoq

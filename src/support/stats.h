@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Summary statistics used by the benchmark harnesses (mean, stddev,
+ * 95% confidence intervals) — the quantities plotted in the paper's
+ * per-benchmark scatter plots.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace guoq {
+namespace support {
+
+/** Mean / stddev / 95% CI half-width over a sample of doubles. */
+struct Summary
+{
+    std::size_t n = 0;
+    double mean = 0;
+    double stddev = 0;
+    double ci95 = 0;   //!< half-width of the 95% confidence interval
+    double minv = 0;
+    double maxv = 0;
+};
+
+/** Compute a Summary of @p xs (ci95 uses the normal approximation). */
+Summary summarize(const std::vector<double> &xs);
+
+/** Three-way outcome of comparing GUOQ against a baseline. */
+enum class CompareOutcome { Better, Match, Worse };
+
+/**
+ * Classify a GUOQ-vs-tool comparison with a tolerance band, matching
+ * the paper's better/match/worse bar summaries. Higher is better.
+ */
+CompareOutcome compareMeans(double guoq, double other, double tol = 1e-9);
+
+/** Counter triple for the bar plots under each figure. */
+struct CompareCounts
+{
+    int better = 0;
+    int match = 0;
+    int worse = 0;
+
+    void
+    add(CompareOutcome o)
+    {
+        if (o == CompareOutcome::Better)
+            ++better;
+        else if (o == CompareOutcome::Match)
+            ++match;
+        else
+            ++worse;
+    }
+
+    int total() const { return better + match + worse; }
+};
+
+} // namespace support
+} // namespace guoq

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fixed-width text tables for the benchmark harness output. Each bench
+ * binary prints the rows of the paper table/figure it regenerates.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace guoq {
+namespace support {
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment and a separator under the header. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p prec digits after the point. */
+std::string fmt(double v, int prec = 3);
+
+/** Format a percentage (0.283 -> "28.3%"). */
+std::string fmtPct(double v, int prec = 1);
+
+} // namespace support
+} // namespace guoq

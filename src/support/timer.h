@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Wall-clock timing and deadlines for time-budgeted search.
+ *
+ * GUOQ and the baselines are anytime algorithms: they run until a
+ * Deadline expires and return the best solution found. All search loops
+ * take a Deadline rather than an iteration count so that experiment
+ * budgets are expressed in the same unit the paper uses (seconds).
+ */
+
+#pragma once
+
+#include <chrono>
+
+namespace guoq {
+namespace support {
+
+/** Monotonic stopwatch. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Seconds elapsed since construction or last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    void reset() { start_ = Clock::now(); }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** A point in time after which a search loop must stop. */
+class Deadline
+{
+  public:
+    /** A deadline that never expires. */
+    Deadline() : unlimited_(true) {}
+
+    /** A deadline @p seconds from now. */
+    static Deadline
+    in(double seconds)
+    {
+        Deadline d;
+        d.unlimited_ = false;
+        d.end_ = Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(seconds));
+        return d;
+    }
+
+    bool
+    expired() const
+    {
+        return !unlimited_ && Clock::now() >= end_;
+    }
+
+    /** Seconds remaining (a large value when unlimited). */
+    double
+    remaining() const
+    {
+        if (unlimited_)
+            return 1e18;
+        const double r =
+            std::chrono::duration<double>(end_ - Clock::now()).count();
+        return r > 0 ? r : 0;
+    }
+
+    /** A sub-deadline: min(this, now + seconds). */
+    Deadline
+    slice(double seconds) const
+    {
+        const double r = remaining();
+        return Deadline::in(seconds < r ? seconds : r);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    bool unlimited_ = true;
+    Clock::time_point end_{};
+};
+
+} // namespace support
+} // namespace guoq

@@ -1,0 +1,239 @@
+#include "synth/finite_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/gate_set.h"
+#include "linalg/unitary.h"
+#include "sim/unitary_sim.h"
+#include "support/logging.h"
+
+namespace guoq {
+namespace synth {
+
+namespace {
+
+using linalg::ComplexMatrix;
+
+/** The Clifford+T vocabulary sampled by the annealer. */
+constexpr ir::GateKind kOneQubitKinds[] = {
+    ir::GateKind::T,   ir::GateKind::Tdg, ir::GateKind::S,
+    ir::GateKind::Sdg, ir::GateKind::H,   ir::GateKind::X,
+};
+
+/** Draw a random Clifford+T gate on @p num_qubits qubits. */
+ir::Gate
+randomGate(int num_qubits, support::Rng &rng)
+{
+    // Even odds of a CX when more than one qubit is available.
+    if (num_qubits >= 2 && rng.chance(0.5)) {
+        const int c = static_cast<int>(rng.index(
+            static_cast<std::size_t>(num_qubits)));
+        int t = static_cast<int>(rng.index(
+            static_cast<std::size_t>(num_qubits - 1)));
+        if (t >= c)
+            ++t;
+        return ir::Gate(ir::GateKind::CX, {c, t});
+    }
+    const ir::GateKind kind =
+        kOneQubitKinds[rng.index(std::size(kOneQubitKinds))];
+    const int q = static_cast<int>(
+        rng.index(static_cast<std::size_t>(num_qubits)));
+    return ir::Gate(kind, {q});
+}
+
+/** Distance of @p gates to @p target plus a small size pressure. */
+double
+annealCost(const std::vector<ir::Gate> &gates, int num_qubits,
+           const ComplexMatrix &target)
+{
+    ir::Circuit c(num_qubits);
+    for (const ir::Gate &g : gates)
+        c.add(g);
+    const double d = linalg::hsDistance(target, sim::circuitUnitary(c));
+    return d + 1e-4 * static_cast<double>(gates.size());
+}
+
+/** Distance of a gate list to the target. */
+double
+listDistance(const std::vector<ir::Gate> &gates, int num_qubits,
+             const ComplexMatrix &target)
+{
+    ir::Circuit c(num_qubits);
+    for (const ir::Gate &g : gates)
+        c.add(g);
+    return linalg::hsDistance(target, sim::circuitUnitary(c));
+}
+
+/**
+ * Greedy gate deletion while the distance stays within @p epsilon (the
+ * Synthetiq shrink phase). Tries single deletions first, then
+ * same-kind pairs — inverse pairs (CX·CX, H·H, T·T†) can never be
+ * removed one gate at a time.
+ */
+void
+shrink(std::vector<ir::Gate> *gates, int num_qubits,
+       const ComplexMatrix &target, double epsilon,
+       const support::Deadline &deadline)
+{
+    bool changed = true;
+    while (changed && !deadline.expired()) {
+        changed = false;
+        for (std::size_t i = 0; i < gates->size() && !changed; ++i) {
+            std::vector<ir::Gate> trial = *gates;
+            trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+            if (listDistance(trial, num_qubits, target) <= epsilon) {
+                *gates = std::move(trial);
+                changed = true;
+            }
+        }
+        if (changed || deadline.expired())
+            continue;
+        for (std::size_t i = 0; i < gates->size() && !changed; ++i) {
+            for (std::size_t j = i + 1;
+                 j < gates->size() && !changed; ++j) {
+                // Pair deletions only pay off for same-wire pairs.
+                if (!(*gates)[i].overlaps((*gates)[j]))
+                    continue;
+                if (deadline.expired())
+                    break;
+                std::vector<ir::Gate> trial = *gates;
+                trial.erase(trial.begin() +
+                            static_cast<std::ptrdiff_t>(j));
+                trial.erase(trial.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                if (listDistance(trial, num_qubits, target) <= epsilon) {
+                    *gates = std::move(trial);
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+SynthResult
+finiteSynth(const ComplexMatrix &target, int num_qubits,
+            const FiniteSynthOptions &opts, support::Rng &rng)
+{
+    if (num_qubits < 1 || num_qubits > 3)
+        support::panic("finiteSynth: supports 1-3 qubits");
+    if (target.rows() != (std::size_t{1} << num_qubits))
+        support::panic("finiteSynth: target size mismatch");
+
+    const double eps = opts.epsilon > 0 ? opts.epsilon : 1e-7;
+
+    SynthResult best;
+    best.circuit = ir::Circuit(num_qubits);
+    best.distance =
+        linalg::hsDistance(target, sim::circuitUnitary(best.circuit));
+    best.success = best.distance <= eps; // target may be identity
+
+    // Seed round: anneal down from the provided circuit when it fits
+    // the vocabulary and the length cap.
+    bool seed_usable = false;
+    if (opts.seed && opts.seed->numQubits() == num_qubits &&
+        static_cast<int>(opts.seed->size()) <= opts.maxGates) {
+        seed_usable = true;
+        for (const ir::Gate &g : opts.seed->gates())
+            if (!ir::isNative(ir::GateSetKind::CliffordT, g.kind))
+                seed_usable = false;
+    }
+
+    // Seed phase: greedy gate deletion from the original circuit — an
+    // exact starting point whose shrink is already a valid synthesis.
+    if (seed_usable && !best.success) {
+        std::vector<ir::Gate> cur = opts.seed->gates();
+        shrink(&cur, num_qubits, target, eps, opts.deadline);
+        ir::Circuit c(num_qubits);
+        for (const ir::Gate &g : cur)
+            c.add(g);
+        const double d =
+            linalg::hsDistance(target, sim::circuitUnitary(c));
+        if (d <= eps) {
+            best.circuit = std::move(c);
+            best.distance = d;
+            best.success = true;
+        }
+    }
+
+    for (int round = 0; round < opts.rounds && !best.success; ++round) {
+        if (opts.deadline.expired())
+            break;
+        std::vector<ir::Gate> cur;
+        cur.reserve(static_cast<std::size_t>(opts.maxGates));
+        {
+            // Fresh random sequence; shorter early, longer later.
+            const int len = std::min(
+                opts.maxGates,
+                4 + 4 * round + static_cast<int>(rng.index(4)));
+            for (int i = 0; i < len; ++i)
+                cur.push_back(randomGate(num_qubits, rng));
+        }
+        double cur_cost = annealCost(cur, num_qubits, target);
+
+        const double t0 = 0.3, t1 = 0.005;
+        for (int it = 0; it < opts.itersPerRound; ++it) {
+            if ((it & 63) == 0 && opts.deadline.expired())
+                break;
+            const double progress = static_cast<double>(it) /
+                static_cast<double>(opts.itersPerRound);
+            const double temp = t0 * std::pow(t1 / t0, progress);
+
+            std::vector<ir::Gate> trial = cur;
+            const double move = rng.uniform();
+            if (move < 0.55 && !trial.empty()) {
+                // Mutate a random position.
+                trial[rng.index(trial.size())] =
+                    randomGate(num_qubits, rng);
+            } else if (move < 0.75 &&
+                       static_cast<int>(trial.size()) < opts.maxGates) {
+                trial.insert(
+                    trial.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            rng.index(trial.size() + 1)),
+                    randomGate(num_qubits, rng));
+            } else if (move < 0.9 && !trial.empty()) {
+                trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(
+                                                rng.index(trial.size())));
+            } else if (trial.size() >= 2) {
+                const std::size_t i = rng.index(trial.size() - 1);
+                std::swap(trial[i], trial[i + 1]);
+            }
+
+            const double trial_cost =
+                annealCost(trial, num_qubits, target);
+            const double delta = trial_cost - cur_cost;
+            if (delta <= 0 || rng.chance(std::exp(-delta / temp))) {
+                cur = std::move(trial);
+                cur_cost = trial_cost;
+            }
+
+            const double pure_distance =
+                cur_cost - 1e-4 * static_cast<double>(cur.size());
+            if (pure_distance <= eps) {
+                shrink(&cur, num_qubits, target, eps, opts.deadline);
+                ir::Circuit c(num_qubits);
+                for (const ir::Gate &g : cur)
+                    c.add(g);
+                best.circuit = std::move(c);
+                best.distance = pure_distance;
+                best.success = true;
+                break;
+            }
+            if (pure_distance < best.distance) {
+                ir::Circuit c(num_qubits);
+                for (const ir::Gate &g : cur)
+                    c.add(g);
+                best.circuit = std::move(c);
+                best.distance = pure_distance;
+            }
+        }
+        ++best.nodesExpanded;
+    }
+    return best;
+}
+
+} // namespace synth
+} // namespace guoq

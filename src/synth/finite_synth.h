@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Simulated-annealing unitary synthesis for the finite Clifford+T gate
+ * set — the Synthetiq substitute (paper Q4).
+ *
+ * The annealer walks the space of fixed-width gate sequences with
+ * mutate / insert / delete / swap moves, minimizing the Hilbert–
+ * Schmidt distance to the target plus a small size penalty, then
+ * greedily shrinks successful candidates. Finite-set synthesis is much
+ * harder than continuous instantiation (no gradients), which is
+ * exactly the asymmetry the paper reports in Fig. 13.
+ */
+
+#pragma once
+
+#include "linalg/complex_matrix.h"
+#include "support/rng.h"
+#include "support/timer.h"
+#include "synth/qsearch.h"
+
+namespace guoq {
+namespace synth {
+
+/** Options for finiteSynth(). */
+struct FiniteSynthOptions
+{
+    double epsilon = 1e-8;      //!< success threshold (HS distance)
+    int maxGates = 24;          //!< sequence length cap
+    int itersPerRound = 4000;   //!< SA steps per restart
+    int rounds = 4;             //!< SA restarts
+    support::Deadline deadline;
+
+    /**
+     * Optional seed circuit (typically the subcircuit being
+     * resynthesized). Round 0 anneals down from it — turning the run
+     * into stochastic gate deletion — before later rounds try from
+     * scratch. Must use only Clifford+T gates; ignored otherwise.
+     */
+    const ir::Circuit *seed = nullptr;
+};
+
+/**
+ * Synthesize a Clifford+T circuit for @p target (n = @p num_qubits
+ * ≤ 3). Returns the best attempt; success means distance ≤ epsilon.
+ */
+SynthResult finiteSynth(const linalg::ComplexMatrix &target, int num_qubits,
+                        const FiniteSynthOptions &opts, support::Rng &rng);
+
+} // namespace synth
+} // namespace guoq

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Numerical instantiation: fit an ansatz's free angles to a target
+ * unitary by minimizing the Hilbert–Schmidt cost with analytic
+ * gradients (the BQSKit-style inner loop of circuit synthesis).
+ */
+
+#pragma once
+
+#include "linalg/complex_matrix.h"
+#include "linalg/numopt.h"
+#include "support/rng.h"
+#include "support/timer.h"
+#include "synth/templates.h"
+
+namespace guoq {
+namespace synth {
+
+/** Result of fitting an ansatz against a target unitary. */
+struct InstantiateResult
+{
+    std::vector<double> params;
+    double hsDistanceValue = 1.0; //!< Δ(target, ansatz(params))
+    bool success = false;         //!< Δ ≤ the requested threshold
+};
+
+/**
+ * Fit @p ansatz to @p target so that the Hilbert–Schmidt distance is
+ * at most @p eps (Def. 3.2); multi-start Adam with analytic gradients.
+ *
+ * @param target   the 2^n x 2^n target unitary.
+ * @param eps      distance threshold defining success; eps = 0 is
+ *                 interpreted as numerically-exact (1e-7, the metric's
+ *                 resolution at machine precision).
+ * @param restarts total Adam starts (the first uses @p hint when given).
+ * @param hint     warm-start parameters, e.g. the parent structure's
+ *                 fit in QSearch; may be shorter than numParams() (the
+ *                 tail is randomized).
+ */
+InstantiateResult instantiate(const Ansatz &ansatz,
+                              const linalg::ComplexMatrix &target,
+                              double eps, int restarts, support::Rng &rng,
+                              const support::Deadline &deadline,
+                              const std::vector<double> *hint = nullptr);
+
+/**
+ * The Hilbert–Schmidt cost 1 - |Tr(U†V)|/N and its gradient in the
+ * ansatz angles (exposed for the numerical-gradient cross-check in
+ * the test suite).
+ */
+double hsCostAndGrad(const Ansatz &ansatz,
+                     const linalg::ComplexMatrix &target,
+                     const std::vector<double> &params,
+                     std::vector<double> *grad);
+
+} // namespace synth
+} // namespace guoq

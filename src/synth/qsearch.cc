@@ -1,0 +1,308 @@
+#include "synth/qsearch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "linalg/decompose_1q.h"
+#include "support/logging.h"
+#include "synth/instantiate.h"
+
+namespace guoq {
+namespace synth {
+
+namespace {
+
+/** A structure under consideration: the entangler pair sequence. */
+struct Node
+{
+    std::vector<std::pair<int, int>> entanglers;
+    double distance = 1.0;
+    std::vector<double> params;
+
+    /** A* priority: achieved distance plus a small depth penalty that
+     *  prefers shallower structures among near-equal fits. */
+    double priority() const
+    {
+        return distance + 0.01 * static_cast<double>(entanglers.size());
+    }
+};
+
+struct NodeWorse
+{
+    bool operator()(const Node &a, const Node &b) const
+    {
+        return a.priority() > b.priority();
+    }
+};
+
+/** Materialize the ansatz for an entangler sequence. */
+Ansatz
+buildAnsatz(int num_qubits, const std::vector<std::pair<int, int>> &ents,
+            bool use_rxx)
+{
+    Ansatz a = initialAnsatz(num_qubits);
+    for (const auto &[qa, qb] : ents)
+        appendEntanglerBlock(&a, qa, qb, use_rxx);
+    return a;
+}
+
+/** Copy of @p a with the slot carrying @p param_index frozen. */
+Ansatz
+withSlotFixed(const Ansatz &a, int param_index, double value)
+{
+    Ansatz out(a.numQubits());
+    for (const AnsatzGate &g : a.gates()) {
+        if (g.paramIndex == param_index)
+            out.addFixed(g.kind, g.qubits, value);
+        else if (g.paramIndex >= 0)
+            out.addParameterized(g.kind, g.qubits);
+        else
+            out.addFixed(g.kind, g.qubits, g.fixedParam);
+    }
+    return out;
+}
+
+/**
+ * Greedy angle simplification: snap each free angle to its nearest
+ * multiple of π/2 and freeze it whenever the remaining parameters can
+ * still meet ε. Zeroed rotations vanish during native cleanup, so this
+ * is what turns a fully-dressed ansatz into a lean circuit.
+ */
+void
+simplifyAngles(Ansatz *ansatz, std::vector<double> *params,
+               const linalg::ComplexMatrix &target, double eps,
+               support::Rng &rng, const support::Deadline &deadline)
+{
+    bool progress = true;
+    while (progress && !deadline.expired()) {
+        progress = false;
+        for (int p = 0; p < ansatz->numParams(); ++p) {
+            if (deadline.expired())
+                return;
+            const double value = (*params)[static_cast<std::size_t>(p)];
+            const double snapped =
+                std::round(value / (M_PI / 2)) * (M_PI / 2);
+            Ansatz trial = withSlotFixed(*ansatz, p, snapped);
+            std::vector<double> hint = *params;
+            hint.erase(hint.begin() + p);
+            const InstantiateResult r = instantiate(
+                trial, target, eps, 1, rng, deadline.slice(0.2), &hint);
+            if (r.success) {
+                *ansatz = std::move(trial);
+                *params = r.params;
+                progress = true;
+                break; // param indices shifted: restart the sweep
+            }
+        }
+    }
+}
+
+/** Exact 1-qubit synthesis via the ZYZ decomposition. */
+SynthResult
+synthesizeOneQubit(const linalg::ComplexMatrix &target)
+{
+    const linalg::EulerZyz e = linalg::decomposeZyz(target);
+    SynthResult r;
+    r.success = true;
+    r.distance = 0;
+    r.circuit = ir::Circuit(1);
+    if (!ir::isZeroAngle(ir::normalizeAngle(e.delta)))
+        r.circuit.rz(ir::normalizeAngle(e.delta), 0);
+    if (!ir::isZeroAngle(ir::normalizeAngle(e.gamma)))
+        r.circuit.ry(ir::normalizeAngle(e.gamma), 0);
+    if (!ir::isZeroAngle(ir::normalizeAngle(e.beta)))
+        r.circuit.rz(ir::normalizeAngle(e.beta), 0);
+    return r;
+}
+
+} // namespace
+
+SynthResult
+qsearch(const linalg::ComplexMatrix &target, int num_qubits,
+        const QSearchOptions &opts, support::Rng &rng)
+{
+    if (num_qubits < 1 || num_qubits > 4)
+        support::panic("qsearch: supports 1-4 qubits");
+    if (target.rows() != (std::size_t{1} << num_qubits))
+        support::panic("qsearch: target size does not match qubit count");
+    if (num_qubits == 1)
+        return synthesizeOneQubit(target);
+
+    // Candidate entangler positions: all ordered-canonical pairs.
+    std::vector<std::pair<int, int>> pairs;
+    for (int a = 0; a < num_qubits; ++a)
+        for (int b = a + 1; b < num_qubits; ++b)
+            pairs.emplace_back(a, b);
+
+    const double eps = opts.epsilon > 0 ? opts.epsilon : 1e-7;
+
+    SynthResult best;
+    best.circuit = ir::Circuit(num_qubits);
+    best.distance = 2.0; // above the metric's maximum of 1
+    Node best_node;
+    bool have_success = false;
+
+    auto evaluate = [&](Node *node, const std::vector<double> *hint) {
+        const Ansatz a =
+            buildAnsatz(num_qubits, node->entanglers, opts.useRxx);
+        const InstantiateResult r =
+            instantiate(a, target, eps, opts.restartsPerNode, rng,
+                        opts.deadline, hint);
+        node->distance = r.hsDistanceValue;
+        node->params = r.params;
+        ++best.nodesExpanded;
+        const bool ok = r.success;
+        // Among successes prefer fewer entanglers; before any success
+        // track the best distance seen.
+        bool better;
+        if (ok && have_success) {
+            better = node->entanglers.size() <
+                         best_node.entanglers.size() ||
+                     (node->entanglers.size() ==
+                          best_node.entanglers.size() &&
+                      node->distance < best_node.distance);
+        } else if (ok) {
+            better = true;
+        } else {
+            better = !have_success && node->distance < best.distance;
+        }
+        if (better) {
+            best.distance = node->distance;
+            best_node = *node;
+            have_success = have_success || ok;
+            best.success = have_success;
+        }
+        return ok;
+    };
+
+    // Build the final circuit from the winning node, simplifying the
+    // angle assignment first so the emitted circuit is lean.
+    auto finalize = [&]() {
+        Ansatz a = buildAnsatz(num_qubits, best_node.entanglers,
+                               opts.useRxx);
+        std::vector<double> params = best_node.params;
+        if (best.success)
+            simplifyAngles(&a, &params, target, eps, rng, opts.deadline);
+        best.circuit = a.instantiate(params);
+        return best;
+    };
+
+    // Phase 1 (when seeded): instantiate the original structure and
+    // greedily delete entanglers while the fit still meets ε — the
+    // QUEST/BQSKit gate-deletion strategy, starting from a structure
+    // known to realize the target.
+    if (!opts.seedEntanglers.empty() &&
+        static_cast<int>(opts.seedEntanglers.size()) <=
+            opts.maxSeedEntanglers) {
+        Node seed;
+        seed.entanglers = opts.seedEntanglers;
+        if (evaluate(&seed, nullptr)) {
+            const int per_block = opts.useRxx ? 7 : 6;
+            // Hint for a structure with the entangler blocks at the
+            // (sorted, distinct) positions in @p dels removed.
+            auto hintWithout = [&](const std::vector<std::size_t> &dels) {
+                std::vector<double> hint;
+                hint.reserve(seed.params.size());
+                std::size_t cursor = 0;
+                hint.insert(hint.end(), seed.params.begin(),
+                            seed.params.begin() + 3 * num_qubits);
+                std::size_t offset =
+                    static_cast<std::size_t>(3 * num_qubits);
+                for (std::size_t b = 0; b < seed.entanglers.size();
+                     ++b) {
+                    const bool drop =
+                        cursor < dels.size() && dels[cursor] == b;
+                    if (drop)
+                        ++cursor;
+                    else
+                        hint.insert(
+                            hint.end(),
+                            seed.params.begin() +
+                                static_cast<std::ptrdiff_t>(offset),
+                            seed.params.begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    offset + per_block));
+                    offset += static_cast<std::size_t>(per_block);
+                }
+                return hint;
+            };
+            auto tryDelete = [&](const std::vector<std::size_t> &dels) {
+                Node trial;
+                for (std::size_t b = 0; b < seed.entanglers.size();
+                     ++b) {
+                    if (std::find(dels.begin(), dels.end(), b) ==
+                        dels.end())
+                        trial.entanglers.push_back(seed.entanglers[b]);
+                }
+                const std::vector<double> hint = hintWithout(dels);
+                if (evaluate(&trial, &hint)) {
+                    seed = std::move(trial);
+                    return true;
+                }
+                return false;
+            };
+
+            bool shrunk = true;
+            while (shrunk && !seed.entanglers.empty() &&
+                   !opts.deadline.expired()) {
+                shrunk = false;
+                // Single deletions first.
+                for (std::size_t del = 0;
+                     del < seed.entanglers.size() && !shrunk; ++del) {
+                    if (opts.deadline.expired())
+                        break;
+                    shrunk = tryDelete({del});
+                }
+                if (shrunk)
+                    continue;
+                // Pair deletions: canceling entangler pairs can never
+                // be removed one at a time (parity of entanglement),
+                // so try same-pair two-at-a-time removals.
+                for (std::size_t i = 0;
+                     i < seed.entanglers.size() && !shrunk; ++i) {
+                    for (std::size_t j = i + 1;
+                         j < seed.entanglers.size() && !shrunk; ++j) {
+                        if (seed.entanglers[i] != seed.entanglers[j])
+                            continue;
+                        if (opts.deadline.expired())
+                            break;
+                        shrunk = tryDelete({i, j});
+                    }
+                }
+            }
+            return finalize();
+        }
+    }
+
+    // Phase 2: bottom-up A* from the empty structure.
+    std::priority_queue<Node, std::vector<Node>, NodeWorse> frontier;
+    Node root;
+    if (evaluate(&root, nullptr))
+        return finalize();
+    frontier.push(std::move(root));
+
+    while (!frontier.empty() && !opts.deadline.expired()) {
+        const Node cur = frontier.top();
+        frontier.pop();
+        if (static_cast<int>(cur.entanglers.size()) >= opts.maxEntanglers)
+            continue;
+        for (const auto &pair : pairs) {
+            if (opts.deadline.expired())
+                break;
+            Node child;
+            child.entanglers = cur.entanglers;
+            child.entanglers.push_back(pair);
+            // Warm-start from the parent's fit: the new block's
+            // parameters are randomized, the rest start near the
+            // parent's optimum (the LEAP-style incremental idea).
+            if (evaluate(&child, &cur.params))
+                return finalize();
+            frontier.push(std::move(child));
+        }
+    }
+    return finalize();
+}
+
+} // namespace synth
+} // namespace guoq

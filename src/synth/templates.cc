@@ -1,0 +1,86 @@
+#include "synth/templates.h"
+
+#include "support/logging.h"
+
+namespace guoq {
+namespace synth {
+
+void
+Ansatz::addParameterized(ir::GateKind kind, std::vector<int> qubits)
+{
+    if (ir::gateParamCount(kind) != 1)
+        support::panic("Ansatz: parameterized slots must take exactly one "
+                       "angle");
+    AnsatzGate g;
+    g.kind = kind;
+    g.qubits = std::move(qubits);
+    g.paramIndex = numParams_++;
+    gates_.push_back(std::move(g));
+}
+
+void
+Ansatz::addFixed(ir::GateKind kind, std::vector<int> qubits, double param)
+{
+    AnsatzGate g;
+    g.kind = kind;
+    g.qubits = std::move(qubits);
+    g.fixedParam = param;
+    gates_.push_back(std::move(g));
+}
+
+int
+Ansatz::twoQubitCount() const
+{
+    int n = 0;
+    for (const AnsatzGate &g : gates_)
+        if (g.qubits.size() == 2)
+            ++n;
+    return n;
+}
+
+ir::Circuit
+Ansatz::instantiate(const std::vector<double> &params) const
+{
+    ir::Circuit c(numQubits_);
+    for (const AnsatzGate &g : gates_) {
+        std::vector<double> ps;
+        if (ir::gateParamCount(g.kind) == 1) {
+            ps.push_back(g.paramIndex >= 0
+                             ? params[static_cast<std::size_t>(g.paramIndex)]
+                             : g.fixedParam);
+        }
+        c.add(g.kind, g.qubits, ps);
+    }
+    return c;
+}
+
+void
+appendU3Slot(Ansatz *a, int qubit)
+{
+    a->addParameterized(ir::GateKind::Rz, {qubit});
+    a->addParameterized(ir::GateKind::Ry, {qubit});
+    a->addParameterized(ir::GateKind::Rz, {qubit});
+}
+
+void
+appendEntanglerBlock(Ansatz *a, int qa, int qb, bool use_rxx)
+{
+    if (use_rxx)
+        a->addParameterized(ir::GateKind::Rxx, {qa, qb});
+    else
+        a->addFixed(ir::GateKind::CX, {qa, qb});
+    appendU3Slot(a, qa);
+    appendU3Slot(a, qb);
+}
+
+Ansatz
+initialAnsatz(int num_qubits)
+{
+    Ansatz a(num_qubits);
+    for (int q = 0; q < num_qubits; ++q)
+        appendU3Slot(&a, q);
+    return a;
+}
+
+} // namespace synth
+} // namespace guoq

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Parameterized circuit templates (ansätze) for numerical synthesis.
+ *
+ * QSearch-style synthesis instantiates a structure — a fixed sequence
+ * of gates, some with free rotation angles — against a target unitary.
+ * Every parameterized slot uses an exponential-form gate
+ * (Rz, Ry, or Rxx: G(θ) = exp(-i θ/2 P)), so the Hilbert–Schmidt cost
+ * has a uniform analytic gradient (∂G/∂θ = -i/2 · P · G).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.h"
+#include "ir/gate_kind.h"
+
+namespace guoq {
+namespace synth {
+
+/** One slot of an ansatz: a gate whose angle may be a free parameter. */
+struct AnsatzGate
+{
+    ir::GateKind kind = ir::GateKind::CX;
+    std::vector<int> qubits;
+    int paramIndex = -1;    //!< index into the parameter vector, or -1
+    double fixedParam = 0;  //!< used when paramIndex < 0 and the kind
+                            //!< is parameterized
+};
+
+/** A parameterized circuit structure. */
+class Ansatz
+{
+  public:
+    explicit Ansatz(int num_qubits) : numQubits_(num_qubits) {}
+
+    int numQubits() const { return numQubits_; }
+    int numParams() const { return numParams_; }
+    const std::vector<AnsatzGate> &gates() const { return gates_; }
+
+    /** Append a gate with a fresh free parameter. */
+    void addParameterized(ir::GateKind kind, std::vector<int> qubits);
+
+    /** Append a fixed (non-parameterized or bound-angle) gate. */
+    void addFixed(ir::GateKind kind, std::vector<int> qubits,
+                  double param = 0);
+
+    /** Count of entangling (2-qubit) gates in the structure. */
+    int twoQubitCount() const;
+
+    /** Bind @p params and materialize a concrete circuit. */
+    ir::Circuit instantiate(const std::vector<double> &params) const;
+
+  private:
+    int numQubits_;
+    int numParams_ = 0;
+    std::vector<AnsatzGate> gates_;
+};
+
+/**
+ * The universal 1q dressing Rz·Ry·Rz on @p qubit (3 free params).
+ * Appended after entanglers and as the initial layer.
+ */
+void appendU3Slot(Ansatz *a, int qubit);
+
+/**
+ * One QSearch expansion block on qubit pair (a, b): the entangler
+ * (CX, or a parameterized Rxx when @p use_rxx) followed by a 1q
+ * dressing on both qubits.
+ */
+void appendEntanglerBlock(Ansatz *a, int qa, int qb, bool use_rxx);
+
+/** The depth-0 structure: one 1q dressing per qubit. */
+Ansatz initialAnsatz(int num_qubits);
+
+} // namespace synth
+} // namespace guoq

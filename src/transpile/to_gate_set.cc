@@ -1,0 +1,112 @@
+#include "transpile/to_gate_set.h"
+
+#include <cmath>
+
+#include "transpile/decompose.h"
+#include "support/logging.h"
+
+namespace guoq {
+namespace transpile {
+
+namespace {
+
+using ir::Gate;
+using ir::GateKind;
+
+/** Emit @p gate re-expressed in the native 1q basis of @p set. */
+void
+emitOneQubit(ir::Circuit *out, const Gate &gate, ir::GateSetKind set)
+{
+    if (ir::isNative(set, gate.kind)) {
+        out->add(gate);
+        return;
+    }
+    if (set == ir::GateSetKind::CliffordT) {
+        for (Gate &g : oneQubitCliffordT(gate))
+            out->add(std::move(g));
+        return;
+    }
+    for (Gate &g : oneQubitToNative(gate.matrix(), gate.qubits[0], set))
+        out->add(std::move(g));
+}
+
+} // namespace
+
+ir::Circuit
+toGateSet(const ir::Circuit &c, ir::GateSetKind set)
+{
+    const ir::Circuit cx_based = expandToCxBasis(c);
+    ir::Circuit out(c.numQubits());
+    for (const Gate &gate : cx_based.gates()) {
+        if (gate.arity() == 2) {
+            // expandToCxBasis leaves only CX at arity 2.
+            if (set == ir::GateSetKind::IonQ) {
+                for (Gate &g : cxViaRxx(gate.qubits[0], gate.qubits[1]))
+                    out.add(std::move(g));
+            } else {
+                out.add(gate);
+            }
+        } else {
+            emitOneQubit(&out, gate, set);
+        }
+    }
+    return out;
+}
+
+bool
+allNative(const ir::Circuit &c, ir::GateSetKind set)
+{
+    for (const Gate &g : c.gates())
+        if (!ir::isNative(set, g.kind))
+            return false;
+    return true;
+}
+
+ir::Circuit
+fuseOneQubitRuns(const ir::Circuit &c, ir::GateSetKind set)
+{
+    if (set == ir::GateSetKind::CliffordT)
+        return c; // finite basis: no continuous Euler form to fuse into
+
+    ir::Circuit out(c.numQubits());
+    // Pending run of 1q gates per wire, in time order.
+    std::vector<std::vector<Gate>> runs(
+        static_cast<std::size_t>(c.numQubits()));
+
+    auto flush = [&out, set](std::vector<Gate> &run) {
+        if (run.empty())
+            return;
+        if (run.size() == 1) {
+            out.add(run[0]);
+            run.clear();
+            return;
+        }
+        // Product in time order: later gates multiply on the left.
+        linalg::ComplexMatrix u = run[0].matrix();
+        for (std::size_t i = 1; i < run.size(); ++i)
+            u = run[i].matrix() * u;
+        std::vector<Gate> fused =
+            oneQubitToNative(u, run[0].qubits[0], set);
+        const std::vector<Gate> &shorter =
+            fused.size() < run.size() ? fused : run;
+        for (const Gate &g : shorter)
+            out.add(g);
+        run.clear();
+    };
+
+    for (const Gate &g : c.gates()) {
+        if (g.arity() == 1 && ir::isNative(set, g.kind)) {
+            runs[static_cast<std::size_t>(g.qubits[0])].push_back(g);
+        } else {
+            for (int q : g.qubits)
+                flush(runs[static_cast<std::size_t>(q)]);
+            out.add(g);
+        }
+    }
+    for (auto &run : runs)
+        flush(run);
+    return out;
+}
+
+} // namespace transpile
+} // namespace guoq

@@ -1,0 +1,85 @@
+#include "workloads/simulation.h"
+
+#include <cmath>
+
+namespace guoq {
+namespace workloads {
+
+namespace {
+
+/** Append exp(-i θ/2 Z_a Z_b) as CX · Rz(θ) · CX. */
+void
+appendZz(ir::Circuit *c, double theta, int a, int b)
+{
+    c->cx(a, b);
+    c->rz(theta, b);
+    c->cx(a, b);
+}
+
+} // namespace
+
+ir::Circuit
+trotterIsing(int n, int steps, double j_coupling, double h_field, double dt)
+{
+    ir::Circuit c(n);
+    for (int s = 0; s < steps; ++s) {
+        for (int q = 0; q + 1 < n; ++q)
+            appendZz(&c, -2.0 * j_coupling * dt, q, q + 1);
+        for (int q = 0; q < n; ++q)
+            c.rx(-2.0 * h_field * dt, q);
+    }
+    return c;
+}
+
+ir::Circuit
+trotterHeisenberg(int n, int steps, double dt)
+{
+    ir::Circuit c(n);
+    const double theta = 2.0 * dt;
+    for (int s = 0; s < steps; ++s) {
+        for (int q = 0; q + 1 < n; ++q) {
+            // XX: conjugate ZZ by H on both qubits.
+            c.h(q);
+            c.h(q + 1);
+            appendZz(&c, theta, q, q + 1);
+            c.h(q);
+            c.h(q + 1);
+            // YY: conjugate ZZ by S†·H on both qubits.
+            c.sdg(q);
+            c.h(q);
+            c.sdg(q + 1);
+            c.h(q + 1);
+            appendZz(&c, theta, q, q + 1);
+            c.h(q);
+            c.s(q);
+            c.h(q + 1);
+            c.s(q + 1);
+            // ZZ directly.
+            appendZz(&c, theta, q, q + 1);
+        }
+    }
+    return c;
+}
+
+ir::Circuit
+trotterIsingPiOver4(int n, int steps)
+{
+    ir::Circuit c(n);
+    for (int s = 0; s < steps; ++s) {
+        for (int q = 0; q + 1 < n; ++q) {
+            c.cx(q, q + 1);
+            c.t(q + 1); // Rz(π/4) up to phase
+            c.cx(q, q + 1);
+        }
+        for (int q = 0; q < n; ++q) {
+            // Rx(π/4) = H Rz(π/4) H up to phase.
+            c.h(q);
+            c.t(q);
+            c.h(q);
+        }
+    }
+    return c;
+}
+
+} // namespace workloads
+} // namespace guoq

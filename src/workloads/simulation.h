@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Hamiltonian-simulation workloads: Trotterized Ising and Heisenberg
+ * chain evolution — the long-term simulation family of the suite.
+ */
+
+#pragma once
+
+#include "ir/circuit.h"
+
+namespace guoq {
+namespace workloads {
+
+/**
+ * First-order Trotter evolution of the transverse-field Ising chain
+ * H = -J Σ Z_i Z_{i+1} - h Σ X_i: per step, ZZ(2·J·dt) on each bond
+ * (CX·Rz·CX) and Rx(2·h·dt) on each site.
+ */
+ir::Circuit trotterIsing(int n, int steps, double j_coupling = 1.0,
+                         double h_field = 0.8, double dt = 0.1);
+
+/**
+ * Trotterized isotropic Heisenberg chain H = Σ (XX + YY + ZZ): each
+ * bond term via basis-change conjugation around a ZZ rotation.
+ */
+ir::Circuit trotterHeisenberg(int n, int steps, double dt = 0.1);
+
+/**
+ * Ising evolution with all rotation angles snapped to π/4 multiples —
+ * the exactly Clifford+T-representable variant used by the FTQC suite.
+ */
+ir::Circuit trotterIsingPiOver4(int n, int steps);
+
+} // namespace workloads
+} // namespace guoq

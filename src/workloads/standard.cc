@@ -1,0 +1,272 @@
+#include "workloads/standard.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace guoq {
+namespace workloads {
+
+ir::Circuit
+ghz(int n)
+{
+    ir::Circuit c(n);
+    c.h(0);
+    for (int q = 1; q < n; ++q)
+        c.cx(q - 1, q);
+    return c;
+}
+
+ir::Circuit
+qft(int n, bool with_swaps)
+{
+    ir::Circuit c(n);
+    for (int i = 0; i < n; ++i) {
+        c.h(i);
+        for (int j = i + 1; j < n; ++j)
+            c.cp(M_PI / std::pow(2.0, j - i), j, i);
+    }
+    if (with_swaps)
+        for (int i = 0; i < n / 2; ++i)
+            c.swap(i, n - 1 - i);
+    return c;
+}
+
+ir::Circuit
+inverseQft(int n, bool with_swaps)
+{
+    return qft(n, with_swaps).inverse();
+}
+
+void
+appendMultiControlX(ir::Circuit *c, const std::vector<int> &controls,
+                    int target, int ancilla_start)
+{
+    const int k = static_cast<int>(controls.size());
+    if (k == 0) {
+        c->x(target);
+        return;
+    }
+    if (k == 1) {
+        c->cx(controls[0], target);
+        return;
+    }
+    if (k == 2) {
+        c->ccx(controls[0], controls[1], target);
+        return;
+    }
+    // V-chain: compute partial ANDs into ancillas, fire, uncompute.
+    std::vector<ir::Gate> compute;
+    compute.emplace_back(
+        ir::GateKind::CCX,
+        std::vector<int>{controls[0], controls[1], ancilla_start});
+    for (int i = 2; i < k - 1; ++i)
+        compute.emplace_back(
+            ir::GateKind::CCX,
+            std::vector<int>{controls[static_cast<std::size_t>(i)],
+                             ancilla_start + i - 2,
+                             ancilla_start + i - 1});
+    for (const ir::Gate &g : compute)
+        c->add(g);
+    c->ccx(controls[static_cast<std::size_t>(k - 1)],
+           ancilla_start + k - 3, target);
+    for (auto it = compute.rbegin(); it != compute.rend(); ++it)
+        c->add(*it);
+}
+
+ir::Circuit
+barencoTof(int controls)
+{
+    if (controls < 2)
+        support::fatal("barencoTof: needs at least 2 controls");
+    const int n = 2 * controls - 1; // controls + target + (controls-2)
+    ir::Circuit c(n);
+    std::vector<int> ctrl(static_cast<std::size_t>(controls));
+    for (int i = 0; i < controls; ++i)
+        ctrl[static_cast<std::size_t>(i)] = i;
+    const int target = controls;
+    appendMultiControlX(&c, ctrl, target, controls + 1);
+    return c;
+}
+
+ir::Circuit
+cuccaroAdder(int n)
+{
+    // Layout: cin = 0, a_i = 1 + i, b_i = 1 + n + i, cout = 2n + 1.
+    ir::Circuit c(2 * n + 2);
+    const int cin = 0;
+    auto a = [n](int i) { (void)n; return 1 + i; };
+    auto b = [n](int i) { return 1 + n + i; };
+    const int cout = 2 * n + 1;
+
+    auto maj = [&c](int x, int y, int z) {
+        c.cx(z, y);
+        c.cx(z, x);
+        c.ccx(x, y, z);
+    };
+    auto uma = [&c](int x, int y, int z) {
+        c.ccx(x, y, z);
+        c.cx(z, x);
+        c.cx(x, y);
+    };
+
+    maj(cin, b(0), a(0));
+    for (int i = 1; i < n; ++i)
+        maj(a(i - 1), b(i), a(i));
+    c.cx(a(n - 1), cout);
+    for (int i = n - 1; i >= 1; --i)
+        uma(a(i - 1), b(i), a(i));
+    uma(cin, b(0), a(0));
+    return c;
+}
+
+ir::Circuit
+grover(int n)
+{
+    if (n < 2)
+        support::fatal("grover: needs at least 2 work qubits");
+    const int ancillas = n > 2 ? n - 2 : 0;
+    ir::Circuit c(n + ancillas);
+    std::vector<int> all(static_cast<std::size_t>(n));
+    for (int q = 0; q < n; ++q)
+        all[static_cast<std::size_t>(q)] = q;
+    std::vector<int> head(all.begin(), all.end() - 1);
+
+    const int iterations = std::max(
+        1, static_cast<int>(std::floor(
+               M_PI / 4.0 * std::sqrt(std::pow(2.0, n)))));
+
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    for (int it = 0; it < iterations; ++it) {
+        // Oracle: phase-flip |1...1> (Z on the last qubit, controlled
+        // on the rest, realized as H·MCX·H).
+        c.h(n - 1);
+        appendMultiControlX(&c, head, n - 1, n);
+        c.h(n - 1);
+        // Diffusion: H X (multi-controlled Z) X H.
+        for (int q = 0; q < n; ++q) {
+            c.h(q);
+            c.x(q);
+        }
+        c.h(n - 1);
+        appendMultiControlX(&c, head, n - 1, n);
+        c.h(n - 1);
+        for (int q = 0; q < n; ++q) {
+            c.x(q);
+            c.h(q);
+        }
+    }
+    return c;
+}
+
+ir::Circuit
+qpe(int counting)
+{
+    // Estimate the T-gate eigenphase on eigenstate |1>.
+    const int n = counting + 1;
+    const int eig = counting;
+    ir::Circuit c(n);
+    c.x(eig);
+    for (int q = 0; q < counting; ++q)
+        c.h(q);
+    for (int q = 0; q < counting; ++q) {
+        // Controlled-T^(2^k) with k = counting-1-q: counting qubit 0
+        // carries the most significant phase bit, matching the QFT's
+        // bit convention so the estimate reads out deterministically.
+        const double angle = ir::normalizeAngle(
+            std::pow(2.0, counting - 1 - q) * M_PI / 4.0);
+        if (!ir::isZeroAngle(angle))
+            c.cp(angle, q, eig);
+    }
+    // Inverse QFT on the counting register.
+    ir::Circuit iq = inverseQft(counting, true);
+    for (const ir::Gate &g : iq.gates())
+        c.add(g);
+    return c;
+}
+
+ir::Circuit
+bernsteinVazirani(int n, std::uint64_t secret)
+{
+    ir::Circuit c(n + 1);
+    const int out = n;
+    c.x(out);
+    c.h(out);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    for (int q = 0; q < n; ++q)
+        if (secret & (std::uint64_t{1} << q))
+            c.cx(q, out);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    c.h(out);
+    c.x(out);
+    return c;
+}
+
+ir::Circuit
+hiddenShift(int n, std::uint64_t shift)
+{
+    ir::Circuit c(n);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    // Shifted oracle: X^s · O_f · X^s with O_f = Π CZ(2i, 2i+1).
+    for (int q = 0; q < n; ++q)
+        if (shift & (std::uint64_t{1} << q))
+            c.x(q);
+    for (int q = 0; q + 1 < n; q += 2)
+        c.cz(q, q + 1);
+    for (int q = 0; q < n; ++q)
+        if (shift & (std::uint64_t{1} << q))
+            c.x(q);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    // Dual oracle (f is self-dual for this bent function).
+    for (int q = 0; q + 1 < n; q += 2)
+        c.cz(q, q + 1);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    return c;
+}
+
+ir::Circuit
+draperAdder(int n, std::uint64_t a)
+{
+    ir::Circuit c(n);
+    // QFT without the qubit-reversal swaps.
+    ir::Circuit f = qft(n, /*with_swaps=*/false);
+    c.append(f);
+    // Phase kicks: qubit i (MSB first) accumulates 2π·a / 2^{n-i}.
+    for (int i = 0; i < n; ++i) {
+        const double angle = ir::normalizeAngle(
+            2.0 * M_PI * static_cast<double>(a) /
+            std::pow(2.0, n - i));
+        if (!ir::isZeroAngle(angle))
+            c.u1(angle, i);
+    }
+    c.append(f.inverse());
+    return c;
+}
+
+ir::Circuit
+deutschJozsa(int n, std::uint64_t mask)
+{
+    // Balanced oracle f(x) = (mask · x) mod 2 — same shape as BV but
+    // kept separate because the suite treats it as its own family.
+    ir::Circuit c(n + 1);
+    const int out = n;
+    c.x(out);
+    c.h(out);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    for (int q = 0; q < n; ++q)
+        if (mask & (std::uint64_t{1} << q))
+            c.cx(q, out);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    return c;
+}
+
+} // namespace workloads
+} // namespace guoq

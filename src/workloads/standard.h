@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Standard-algorithm benchmark circuits (paper §6: QFT, QPE, Grover,
+ * multi-control Toffolis, adders, and friends — the near- and
+ * long-term algorithm families of the 247-circuit suite).
+ *
+ * Generators emit generic gates (H, CX, CCX, CP, Rz, ...); the suite
+ * builder lowers them to each target gate set with transpile::.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "ir/circuit.h"
+
+namespace guoq {
+namespace workloads {
+
+/** n-qubit GHZ state preparation (H + CX ladder). */
+ir::Circuit ghz(int n);
+
+/**
+ * n-qubit quantum Fourier transform (Coppersmith): H + controlled
+ * phases; @p with_swaps appends the final qubit-reversal swaps.
+ */
+ir::Circuit qft(int n, bool with_swaps = true);
+
+/** Inverse QFT. */
+ir::Circuit inverseQft(int n, bool with_swaps = true);
+
+/**
+ * Barenco-style multi-control Toffoli with @p controls controls (≥ 2)
+ * on 2·controls - 1 qubits: the CCX V-chain through controls-2
+ * ancillas (the barenco_tof_n benchmark family).
+ */
+ir::Circuit barencoTof(int controls);
+
+/**
+ * Cuccaro ripple-carry adder on 2n + 2 qubits (cin, a[n], b[n], cout)
+ * computing b <- a + b with MAJ/UMA blocks.
+ */
+ir::Circuit cuccaroAdder(int n);
+
+/**
+ * Grover search on @p n work qubits for the all-ones item, with the
+ * textbook iteration count ⌊π/4·√(2^n)⌋; uses n-2 ancillas for the
+ * multi-control phase oracle when n > 2.
+ */
+ir::Circuit grover(int n);
+
+/**
+ * Quantum phase estimation with @p counting counting qubits of the T
+ * gate's eigenphase (π/4) on one eigenstate qubit.
+ */
+ir::Circuit qpe(int counting);
+
+/** Bernstein–Vazirani with the given secret bitstring (bit i = qubit i). */
+ir::Circuit bernsteinVazirani(int n, std::uint64_t secret);
+
+/**
+ * Hidden-shift for the bent function f(x) = Π x_{2i}·x_{2i+1} with
+ * shift @p shift (bit q = qubit q): one query to the shifted oracle,
+ * one to the dual, deterministic readout of the shift.
+ */
+ir::Circuit hiddenShift(int n, std::uint64_t shift);
+
+/**
+ * Draper QFT adder: |b⟩ → |b + a mod 2^n⟩ with qubit 0 the most
+ * significant bit of b. Adds the classical constant @p a through
+ * phase kicks in the Fourier basis (QFT · phases · QFT⁻¹).
+ */
+ir::Circuit draperAdder(int n, std::uint64_t a);
+
+/** Deutsch–Jozsa with a balanced inner-product oracle. */
+ir::Circuit deutschJozsa(int n, std::uint64_t mask);
+
+/**
+ * Append a multi-control X with @p num_controls controls (qubits
+ * c0..c_{k-1}), target @p target, using ancillas starting at
+ * @p ancilla_start (needs num_controls - 2 of them; 0, 1, and 2
+ * controls need none).
+ */
+void appendMultiControlX(ir::Circuit *c, const std::vector<int> &controls,
+                         int target, int ancilla_start);
+
+} // namespace workloads
+} // namespace guoq

@@ -1,0 +1,143 @@
+#include "workloads/suite.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/logging.h"
+#include "transpile/decompose.h"
+#include "transpile/to_gate_set.h"
+#include "workloads/simulation.h"
+#include "workloads/standard.h"
+#include "workloads/variational.h"
+
+namespace guoq {
+namespace workloads {
+
+namespace {
+
+/**
+ * True when every rotation angle in @p c is a π/4 multiple *after*
+ * expansion to the CX basis (a CP(λ) expands to λ/2 rotations, so the
+ * check must run post-expansion).
+ */
+bool
+cliffordTRepresentable(const ir::Circuit &c)
+{
+    const ir::Circuit expanded = transpile::expandToCxBasis(c);
+    for (const ir::Gate &g : expanded.gates())
+        for (double p : g.params)
+            if (!transpile::isPiOver4Multiple(p))
+                return false;
+    return true;
+}
+
+void
+add(std::vector<Benchmark> *out, const std::string &family, int size_tag,
+    ir::Circuit circuit)
+{
+    Benchmark b;
+    b.family = family;
+    b.name = family + "_" + std::to_string(size_tag);
+    b.circuit = std::move(circuit);
+    out->push_back(std::move(b));
+}
+
+} // namespace
+
+std::vector<Benchmark>
+standardSuite()
+{
+    std::vector<Benchmark> s;
+
+    for (int n : {4, 6, 8, 10, 12})
+        add(&s, "ghz", n, ghz(n));
+    for (int n : {4, 5, 6, 8, 10})
+        add(&s, "qft", n, qft(n));
+    for (int k : {3, 4, 5, 6})
+        add(&s, "barenco_tof", k, barencoTof(k));
+    for (int n : {2, 3, 4})
+        add(&s, "adder", n, cuccaroAdder(n));
+    for (int n : {3, 4, 5})
+        add(&s, "grover", n, grover(n));
+    for (int n : {3, 4, 6})
+        add(&s, "qpe", n, qpe(n));
+    for (int n : {6, 8, 10})
+        add(&s, "bv", n, bernsteinVazirani(n, 0xB5u));
+    for (int n : {6, 8})
+        add(&s, "dj", n, deutschJozsa(n, 0x2Du));
+    for (int n : {6, 8, 10})
+        add(&s, "hidden_shift", n, hiddenShift(n, 0x2Bu));
+    for (int n : {4, 6})
+        add(&s, "qft_adder", n, draperAdder(n, 5));
+    int tag = 0;
+    for (int n : {6, 8, 10})
+        for (int layers : {1, 2})
+            add(&s, "qaoa", n * 10 + layers,
+                qaoaMaxCut(n, layers, 1000 + static_cast<unsigned>(tag++)));
+    for (int n : {6, 8})
+        for (int layers : {2, 3})
+            add(&s, "vqe", n * 10 + layers,
+                vqeAnsatz(n, layers, 2000 + static_cast<unsigned>(tag++)));
+    for (int n : {6, 8})
+        add(&s, "ising", n, trotterIsing(n, 3));
+    add(&s, "heisenberg", 6, trotterHeisenberg(6, 2));
+    for (int n : {6, 8})
+        add(&s, "ising_t", n, trotterIsingPiOver4(n, 3));
+    for (int n : {8, 10})
+        add(&s, "random", n,
+            randomCircuit(n, 40 * n, 3000 + static_cast<unsigned>(n)));
+
+    return s;
+}
+
+std::vector<Benchmark>
+suiteFor(ir::GateSetKind set)
+{
+    std::vector<Benchmark> out;
+    for (Benchmark &b : standardSuite()) {
+        if (set == ir::GateSetKind::CliffordT &&
+            !cliffordTRepresentable(b.circuit))
+            continue;
+        Benchmark lowered;
+        lowered.name = b.name;
+        lowered.family = b.family;
+        lowered.circuit = transpile::toGateSet(b.circuit, set);
+        out.push_back(std::move(lowered));
+    }
+    return out;
+}
+
+std::vector<Benchmark>
+quickSuiteFor(ir::GateSetKind set, int max_circuits)
+{
+    std::vector<Benchmark> full = suiteFor(set);
+    // Round-robin across families, smallest (by gate count) first, so
+    // a truncated suite stays diverse.
+    std::stable_sort(full.begin(), full.end(),
+                     [](const Benchmark &a, const Benchmark &b) {
+                         return a.circuit.size() < b.circuit.size();
+                     });
+    std::vector<bool> used(full.size(), false);
+    std::vector<Benchmark> out;
+    bool any = true;
+    while (any && static_cast<int>(out.size()) < max_circuits) {
+        any = false;
+        std::set<std::string> this_round;
+        for (std::size_t i = 0;
+             i < full.size() &&
+             static_cast<int>(out.size()) < max_circuits;
+             ++i) {
+            if (used[i] || this_round.count(full[i].family))
+                continue;
+            used[i] = true;
+            this_round.insert(full[i].family);
+            out.push_back(full[i]);
+            any = true;
+        }
+    }
+    return out;
+}
+
+} // namespace workloads
+} // namespace guoq

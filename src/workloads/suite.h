@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The benchmark suite builder (paper §6, Fig. 15).
+ *
+ * The paper evaluates on 247 circuits spanning QAOA, VQE, QPE, QFT,
+ * Grover, adders, multi-control Toffolis, and simulation kernels. We
+ * regenerate the same families across a size sweep; the Clifford+T
+ * suite is restricted to the exactly-representable (π/4-multiple)
+ * families, mirroring how the paper's FTQC benchmarks are all
+ * Clifford+T-native.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+#include "ir/gate_set.h"
+
+namespace guoq {
+namespace workloads {
+
+/** One suite entry. */
+struct Benchmark
+{
+    std::string name;    //!< e.g. "qft_8"
+    std::string family;  //!< e.g. "qft"
+    ir::Circuit circuit; //!< already lowered when from suiteFor()
+};
+
+/** The full generic suite (not yet lowered to a gate set). */
+std::vector<Benchmark> standardSuite();
+
+/**
+ * The suite lowered to @p set ("the input circuit is always already
+ * decomposed into the target gate set", §6). For Clifford+T only the
+ * exactly-representable families are included.
+ */
+std::vector<Benchmark> suiteFor(ir::GateSetKind set);
+
+/**
+ * A truncated suite for tests and smoke runs: at most @p max_circuits
+ * entries, family-diverse, smallest sizes first.
+ */
+std::vector<Benchmark> quickSuiteFor(ir::GateSetKind set, int max_circuits);
+
+} // namespace workloads
+} // namespace guoq

@@ -1,0 +1,95 @@
+#include "workloads/variational.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace guoq {
+namespace workloads {
+
+ir::Circuit
+qaoaMaxCut(int n, int layers, std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    // Ring plus ~n/2 random chords: connected, realistic MaxCut shape.
+    std::vector<std::pair<int, int>> edges;
+    for (int q = 0; q < n; ++q)
+        edges.emplace_back(q, (q + 1) % n);
+    for (int extra = 0; extra < n / 2; ++extra) {
+        const int a = static_cast<int>(rng.index(
+            static_cast<std::size_t>(n)));
+        const int b = static_cast<int>(rng.index(
+            static_cast<std::size_t>(n)));
+        if (a != b)
+            edges.emplace_back(std::min(a, b), std::max(a, b));
+    }
+
+    ir::Circuit c(n);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    for (int layer = 0; layer < layers; ++layer) {
+        const double gamma = rng.uniform(0.1, M_PI - 0.1);
+        const double beta = rng.uniform(0.1, M_PI / 2 - 0.1);
+        for (const auto &[a, b] : edges) {
+            c.cx(a, b);
+            c.rz(2 * gamma, b);
+            c.cx(a, b);
+        }
+        for (int q = 0; q < n; ++q)
+            c.rx(2 * beta, q);
+    }
+    return c;
+}
+
+ir::Circuit
+vqeAnsatz(int n, int layers, std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    ir::Circuit c(n);
+    for (int layer = 0; layer < layers; ++layer) {
+        for (int q = 0; q < n; ++q) {
+            c.ry(rng.uniform(-M_PI, M_PI), q);
+            c.rz(rng.uniform(-M_PI, M_PI), q);
+        }
+        for (int q = 0; q + 1 < n; ++q)
+            c.cx(q, q + 1);
+    }
+    for (int q = 0; q < n; ++q)
+        c.ry(rng.uniform(-M_PI, M_PI), q);
+    return c;
+}
+
+ir::Circuit
+randomCircuit(int n, int num_gates, std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    ir::Circuit c(n);
+    for (int i = 0; i < num_gates; ++i) {
+        const double pick = rng.uniform();
+        const int q = static_cast<int>(rng.index(
+            static_cast<std::size_t>(n)));
+        if (pick < 0.35 && n >= 2) {
+            int t = static_cast<int>(rng.index(
+                static_cast<std::size_t>(n - 1)));
+            if (t >= q)
+                ++t;
+            c.cx(q, t);
+        } else if (pick < 0.5) {
+            c.h(q);
+        } else if (pick < 0.6) {
+            c.x(q);
+        } else if (pick < 0.75) {
+            c.t(q);
+        } else if (pick < 0.85) {
+            c.s(q);
+        } else {
+            c.rz(rng.uniform(-M_PI, M_PI), q);
+        }
+    }
+    return c;
+}
+
+} // namespace workloads
+} // namespace guoq

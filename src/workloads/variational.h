@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Variational-algorithm workloads (QAOA, VQE) and random circuits —
+ * the near-term families of the benchmark suite.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "ir/circuit.h"
+
+namespace guoq {
+namespace workloads {
+
+/**
+ * QAOA MaxCut on a random connected graph: per layer, ZZ(γ) phase
+ * separators (CX·Rz·CX) on each edge plus Rx(β) mixers. Edges are a
+ * ring plus random chords, seeded for reproducibility.
+ */
+ir::Circuit qaoaMaxCut(int n, int layers, std::uint64_t seed);
+
+/**
+ * Hardware-efficient VQE ansatz: per layer, Ry+Rz on every qubit and a
+ * linear CX entangling ladder; angles seeded.
+ */
+ir::Circuit vqeAnsatz(int n, int layers, std::uint64_t seed);
+
+/**
+ * A random circuit of @p num_gates gates drawn from {H, X, T, S, Rz,
+ * CX} — the unstructured filler family.
+ */
+ir::Circuit randomCircuit(int n, int num_gates, std::uint64_t seed);
+
+} // namespace workloads
+} // namespace guoq

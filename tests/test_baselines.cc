@@ -1,0 +1,140 @@
+/** @file Tests for the fixed-sequence and RL-like baselines (Table 3). */
+
+#include <gtest/gtest.h>
+
+#include "baselines/fixed_sequence.h"
+#include "baselines/passes.h"
+#include "baselines/rl_like.h"
+#include "sim/unitary_sim.h"
+#include "tests/test_util.h"
+#include "transpile/to_gate_set.h"
+#include "workloads/standard.h"
+
+namespace guoq {
+namespace {
+
+using Optimizer = ir::Circuit (*)(const ir::Circuit &, ir::GateSetKind);
+
+struct BaselineCase
+{
+    const char *name;
+    Optimizer run;
+};
+
+const BaselineCase kBaselines[] = {
+    {"qiskitLike", baselines::qiskitLikeOptimize},
+    {"tketLike", baselines::tketLikeOptimize},
+    {"voqcLike", baselines::voqcLikeOptimize},
+};
+
+class FixedSequenceBaseline
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(FixedSequenceBaseline, PreservesSemanticsAndNeverGrows)
+{
+    const auto [which, set_index] = GetParam();
+    const BaselineCase &bc = kBaselines[which];
+    const ir::GateSetKind set =
+        ir::allGateSets()[static_cast<std::size_t>(set_index)];
+    support::Rng rng(static_cast<std::uint64_t>(which) * 101 +
+                     static_cast<std::uint64_t>(set_index));
+    const ir::Circuit c = testutil::randomNativeCircuit(set, 4, 40, rng);
+    const ir::Circuit out = bc.run(c, set);
+    EXPECT_LE(out.size(), c.size()) << bc.name;
+    EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact) << bc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FixedSequenceBaseline,
+    ::testing::Combine(::testing::Range(0, 3), ::testing::Range(0, 5)));
+
+TEST(Passes, ReduceFixpointCancelsObviousPairs)
+{
+    ir::Circuit c(2);
+    c.h(0);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    EXPECT_EQ(baselines::reduceFixpoint(c, ir::GateSetKind::Nam).size(),
+              0u);
+}
+
+TEST(Passes, CommuteAndReduceFindsHiddenCancellation)
+{
+    // Rz between two CXs on the control commutes away, exposing the
+    // CX pair.
+    ir::Circuit c(2);
+    c.cx(0, 1);
+    c.rz(0.7, 0);
+    c.cx(0, 1);
+    const ir::Circuit out =
+        baselines::commuteAndReduce(c, ir::GateSetKind::Nam, 3);
+    EXPECT_EQ(out.twoQubitGateCount(), 0u);
+    EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact);
+}
+
+TEST(Passes, FusionPassIsExact)
+{
+    support::Rng rng(5);
+    const ir::Circuit c = testutil::randomNativeCircuit(
+        ir::GateSetKind::Ibmq20, 3, 25, rng);
+    const ir::Circuit out =
+        baselines::fusionPass(c, ir::GateSetKind::Ibmq20);
+    EXPECT_LE(out.size(), c.size());
+    EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact);
+}
+
+TEST(RlLike, PreservesSemantics)
+{
+    const ir::Circuit c =
+        transpile::toGateSet(workloads::qft(4), ir::GateSetKind::Nam);
+    baselines::RlLikeOptions opts;
+    opts.timeBudgetSeconds = 1.0;
+    const ir::Circuit out =
+        baselines::rlLikeOptimize(c, ir::GateSetKind::Nam, opts);
+    EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact);
+}
+
+TEST(RlLike, ReducesRedundantCircuit)
+{
+    ir::Circuit c(2);
+    for (int i = 0; i < 6; ++i)
+        c.h(0);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    baselines::RlLikeOptions opts;
+    opts.timeBudgetSeconds = 1.0;
+    const ir::Circuit out =
+        baselines::rlLikeOptimize(c, ir::GateSetKind::Nam, opts);
+    EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(RlLike, NeverReturnsWorse)
+{
+    support::Rng rng(6);
+    const ir::Circuit c = testutil::randomNativeCircuit(
+        ir::GateSetKind::CliffordT, 4, 40, rng);
+    baselines::RlLikeOptions opts;
+    opts.timeBudgetSeconds = 0.5;
+    opts.objective = core::Objective::TCount;
+    const ir::Circuit out =
+        baselines::rlLikeOptimize(c, ir::GateSetKind::CliffordT, opts);
+    EXPECT_LE(out.tGateCount(), c.tGateCount());
+}
+
+TEST(Baselines, TofWorkloadsShrinkUnderEveryBaseline)
+{
+    // The barenco ladder has adjacent-CCX structure every baseline
+    // should at least partially simplify after transpilation.
+    const ir::Circuit c = transpile::toGateSet(
+        workloads::barencoTof(4), ir::GateSetKind::CliffordT);
+    for (const BaselineCase &bc : kBaselines) {
+        const ir::Circuit out = bc.run(c, ir::GateSetKind::CliffordT);
+        EXPECT_LE(out.size(), c.size()) << bc.name;
+    }
+}
+
+} // namespace
+} // namespace guoq

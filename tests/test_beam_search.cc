@@ -1,0 +1,93 @@
+/** @file Tests for the GUOQ-BEAM (MaxBeam) baseline (Q3). */
+
+#include <gtest/gtest.h>
+
+#include "baselines/beam_search.h"
+#include "sim/unitary_sim.h"
+#include "tests/test_util.h"
+#include "transpile/to_gate_set.h"
+#include "workloads/standard.h"
+
+namespace guoq {
+namespace {
+
+baselines::BeamOptions
+quickOptions(double eps = 0, double seconds = 1.5)
+{
+    baselines::BeamOptions o;
+    o.epsilonTotal = eps;
+    o.timeBudgetSeconds = seconds;
+    o.beamWidth = 16;
+    return o;
+}
+
+TEST(BeamSearch, DrainsRedundantCircuit)
+{
+    ir::Circuit c(2);
+    c.h(0);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    const baselines::BeamResult r = baselines::beamSearchOptimize(
+        c, ir::GateSetKind::Nam, quickOptions());
+    EXPECT_EQ(r.best.size(), 0u);
+}
+
+TEST(BeamSearch, ExactModePreservesSemantics)
+{
+    support::Rng rng(2);
+    const ir::Circuit c =
+        testutil::randomNativeCircuit(ir::GateSetKind::Nam, 4, 30, rng);
+    const baselines::BeamResult r = baselines::beamSearchOptimize(
+        c, ir::GateSetKind::Nam, quickOptions());
+    EXPECT_EQ(r.errorBound, 0.0);
+    EXPECT_LT(sim::circuitDistance(c, r.best), testutil::kExact);
+}
+
+TEST(BeamSearch, ApproximateModeWithinBudget)
+{
+    const ir::Circuit c =
+        transpile::toGateSet(workloads::qft(4), ir::GateSetKind::Nam);
+    const baselines::BeamResult r = baselines::beamSearchOptimize(
+        c, ir::GateSetKind::Nam, quickOptions(1e-5, 2.0));
+    EXPECT_LE(r.errorBound, 1e-5);
+    EXPECT_LE(sim::circuitDistance(c, r.best), 1e-5 + testutil::kExact);
+}
+
+TEST(BeamSearch, NeverReturnsWorse)
+{
+    support::Rng rng(3);
+    const ir::Circuit c = testutil::randomNativeCircuit(
+        ir::GateSetKind::CliffordT, 4, 35, rng);
+    baselines::BeamOptions o = quickOptions();
+    o.objective = core::Objective::TCount;
+    const baselines::BeamResult r =
+        baselines::beamSearchOptimize(c, ir::GateSetKind::CliffordT, o);
+    EXPECT_LE(r.best.tGateCount(), c.tGateCount());
+}
+
+TEST(BeamSearch, PrunesWhenBeamOverflows)
+{
+    const ir::Circuit c =
+        transpile::toGateSet(workloads::qft(5), ir::GateSetKind::Nam);
+    baselines::BeamOptions o = quickOptions(0, 1.0);
+    o.beamWidth = 2; // tiny beam forces pruning
+    const baselines::BeamResult r =
+        baselines::beamSearchOptimize(c, ir::GateSetKind::Nam, o);
+    EXPECT_GT(r.candidatesGenerated, 0);
+    EXPECT_GT(r.candidatesPruned, 0);
+}
+
+TEST(BeamSearch, HonorsIterationCap)
+{
+    const ir::Circuit c =
+        transpile::toGateSet(workloads::qft(4), ir::GateSetKind::Nam);
+    baselines::BeamOptions o = quickOptions(0, 30.0);
+    o.maxIterations = 3;
+    const baselines::BeamResult r =
+        baselines::beamSearchOptimize(c, ir::GateSetKind::Nam, o);
+    EXPECT_LE(r.iterations, 3);
+}
+
+} // namespace
+} // namespace guoq

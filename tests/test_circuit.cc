@@ -1,0 +1,169 @@
+/** @file Tests for ir::Circuit. */
+
+#include <gtest/gtest.h>
+
+#include "ir/circuit.h"
+#include "sim/unitary_sim.h"
+#include "tests/test_util.h"
+
+namespace guoq {
+namespace {
+
+TEST(Circuit, StartsEmpty)
+{
+    ir::Circuit c(3);
+    EXPECT_EQ(c.numQubits(), 3);
+    EXPECT_TRUE(c.empty());
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Circuit, BuildersAppendInOrder)
+{
+    ir::Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(0.5, 1);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.gate(0).kind, ir::GateKind::H);
+    EXPECT_EQ(c.gate(1).kind, ir::GateKind::CX);
+    EXPECT_EQ(c.gate(2).params[0], 0.5);
+}
+
+TEST(Circuit, TwoQubitGateCount)
+{
+    ir::Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.rxx(0.3, 1, 2);
+    c.ccx(0, 1, 2);
+    EXPECT_EQ(c.twoQubitGateCount(), 2u); // CCX is 3q, not counted
+}
+
+TEST(Circuit, TGateCountCountsBothDirections)
+{
+    ir::Circuit c(1);
+    c.t(0);
+    c.tdg(0);
+    c.s(0);
+    EXPECT_EQ(c.tGateCount(), 2u);
+}
+
+TEST(Circuit, CountOf)
+{
+    ir::Circuit c(2);
+    c.cx(0, 1);
+    c.cx(1, 0);
+    c.h(0);
+    EXPECT_EQ(c.countOf(ir::GateKind::CX), 2u);
+    EXPECT_EQ(c.countOf(ir::GateKind::H), 1u);
+    EXPECT_EQ(c.countOf(ir::GateKind::X), 0u);
+}
+
+TEST(Circuit, DepthOfParallelGatesIsOne)
+{
+    ir::Circuit c(4);
+    c.h(0);
+    c.h(1);
+    c.h(2);
+    c.h(3);
+    EXPECT_EQ(c.depth(), 1u);
+}
+
+TEST(Circuit, DepthOfChain)
+{
+    ir::Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.h(1);
+    EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, DepthSkipsIndependentWires)
+{
+    ir::Circuit c(3);
+    c.h(0);
+    c.h(0);
+    c.h(2);
+    EXPECT_EQ(c.depth(), 2u);
+}
+
+TEST(Circuit, InverseReversesAndInverts)
+{
+    support::Rng rng(3);
+    const ir::Circuit c = testutil::randomNativeCircuit(
+        ir::GateSetKind::IbmEagle, 3, 20, rng);
+    ir::Circuit cat(3);
+    cat.append(c);
+    cat.append(c.inverse());
+    EXPECT_LT(sim::circuitDistance(cat, ir::Circuit(3)), testutil::kExact);
+}
+
+TEST(Circuit, AppendRequiresSameWidthContent)
+{
+    ir::Circuit a(2), b(2);
+    a.h(0);
+    b.cx(0, 1);
+    a.append(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.gate(1).kind, ir::GateKind::CX);
+}
+
+TEST(Circuit, RemappedMovesQubits)
+{
+    ir::Circuit c(2);
+    c.cx(0, 1);
+    const ir::Circuit r = c.remapped({2, 0}, 3);
+    EXPECT_EQ(r.numQubits(), 3);
+    EXPECT_EQ(r.gate(0).qubits[0], 2);
+    EXPECT_EQ(r.gate(0).qubits[1], 0);
+}
+
+TEST(Circuit, RemappedPreservesSemanticsUnderPermutation)
+{
+    // Swapping both qubit labels of a CZ (symmetric) keeps the unitary.
+    ir::Circuit c(2);
+    c.cz(0, 1);
+    const ir::Circuit r = c.remapped({1, 0}, 2);
+    EXPECT_LT(sim::circuitDistance(c, r), testutil::kExact);
+}
+
+TEST(Circuit, UsedQubitsSortedAndDeduplicated)
+{
+    ir::Circuit c(6);
+    c.cx(4, 1);
+    c.h(4);
+    const std::vector<int> used = c.usedQubits();
+    ASSERT_EQ(used.size(), 2u);
+    EXPECT_EQ(used[0], 1);
+    EXPECT_EQ(used[1], 4);
+}
+
+TEST(Circuit, ToStringListsGates)
+{
+    ir::Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    const std::string s = c.toString();
+    EXPECT_NE(s.find("h"), std::string::npos);
+    EXPECT_NE(s.find("cx"), std::string::npos);
+}
+
+TEST(Circuit, GateCountEqualsSize)
+{
+    support::Rng rng(9);
+    const ir::Circuit c =
+        testutil::randomNativeCircuit(ir::GateSetKind::Nam, 4, 33, rng);
+    EXPECT_EQ(c.gateCount(), c.size());
+    EXPECT_EQ(c.size(), 33u);
+}
+
+TEST(Circuit, MutableGatesAllowsInPlaceEdits)
+{
+    ir::Circuit c(1);
+    c.rz(0.1, 0);
+    c.gates()[0].params[0] = 0.9;
+    EXPECT_EQ(c.gate(0).params[0], 0.9);
+}
+
+} // namespace
+} // namespace guoq

@@ -1,0 +1,180 @@
+/** @file Unit tests for linalg::ComplexMatrix. */
+
+#include <gtest/gtest.h>
+
+#include "linalg/complex_matrix.h"
+#include "support/rng.h"
+
+namespace guoq {
+namespace {
+
+using linalg::Complex;
+using linalg::ComplexMatrix;
+
+ComplexMatrix
+randomMatrix(std::size_t n, support::Rng &rng)
+{
+    ComplexMatrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            m(r, c) = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    return m;
+}
+
+TEST(ComplexMatrix, DefaultIsEmpty)
+{
+    ComplexMatrix m;
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(ComplexMatrix, ZeroInitialized)
+{
+    ComplexMatrix m(3, 2);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_EQ(m(r, c), Complex(0, 0));
+}
+
+TEST(ComplexMatrix, InitializerListLayout)
+{
+    ComplexMatrix m{{1, 2}, {3, 4}};
+    EXPECT_EQ(m(0, 0), Complex(1, 0));
+    EXPECT_EQ(m(0, 1), Complex(2, 0));
+    EXPECT_EQ(m(1, 0), Complex(3, 0));
+    EXPECT_EQ(m(1, 1), Complex(4, 0));
+}
+
+TEST(ComplexMatrix, IdentityTimesAnythingIsIdentityOp)
+{
+    support::Rng rng(1);
+    const ComplexMatrix a = randomMatrix(4, rng);
+    const ComplexMatrix i = ComplexMatrix::identity(4);
+    EXPECT_NEAR((i * a).maxAbsDiff(a), 0, 1e-14);
+    EXPECT_NEAR((a * i).maxAbsDiff(a), 0, 1e-14);
+}
+
+TEST(ComplexMatrix, MultiplicationMatchesHandComputation)
+{
+    const ComplexMatrix a{{1, 2}, {3, 4}};
+    const ComplexMatrix b{{5, 6}, {7, 8}};
+    const ComplexMatrix c = a * b;
+    EXPECT_EQ(c(0, 0), Complex(19, 0));
+    EXPECT_EQ(c(0, 1), Complex(22, 0));
+    EXPECT_EQ(c(1, 0), Complex(43, 0));
+    EXPECT_EQ(c(1, 1), Complex(50, 0));
+}
+
+TEST(ComplexMatrix, MultiplicationIsAssociative)
+{
+    support::Rng rng(2);
+    const ComplexMatrix a = randomMatrix(4, rng);
+    const ComplexMatrix b = randomMatrix(4, rng);
+    const ComplexMatrix c = randomMatrix(4, rng);
+    EXPECT_LT(((a * b) * c).maxAbsDiff(a * (b * c)), 1e-12);
+}
+
+TEST(ComplexMatrix, AdditionAndSubtraction)
+{
+    support::Rng rng(3);
+    const ComplexMatrix a = randomMatrix(3, rng);
+    const ComplexMatrix b = randomMatrix(3, rng);
+    EXPECT_LT(((a + b) - b).maxAbsDiff(a), 1e-14);
+}
+
+TEST(ComplexMatrix, ScaledMultipliesEveryEntry)
+{
+    const ComplexMatrix a{{1, 2}, {3, 4}};
+    const ComplexMatrix s = a.scaled(Complex(0, 2));
+    EXPECT_EQ(s(1, 0), Complex(0, 6));
+}
+
+TEST(ComplexMatrix, DaggerConjugatesAndTransposes)
+{
+    ComplexMatrix a(2, 2);
+    a(0, 1) = Complex(1, 2);
+    const ComplexMatrix d = a.dagger();
+    EXPECT_EQ(d(1, 0), Complex(1, -2));
+    EXPECT_EQ(d(0, 1), Complex(0, 0));
+}
+
+TEST(ComplexMatrix, DaggerIsInvolution)
+{
+    support::Rng rng(4);
+    const ComplexMatrix a = randomMatrix(4, rng);
+    EXPECT_EQ(a.dagger().dagger().maxAbsDiff(a), 0);
+}
+
+TEST(ComplexMatrix, KroneckerDimensions)
+{
+    const ComplexMatrix a(2, 2);
+    const ComplexMatrix b(3, 3);
+    const ComplexMatrix k = a.kron(b);
+    EXPECT_EQ(k.rows(), 6u);
+    EXPECT_EQ(k.cols(), 6u);
+}
+
+TEST(ComplexMatrix, KroneckerMatchesBlockStructure)
+{
+    const ComplexMatrix a{{1, 2}, {3, 4}};
+    const ComplexMatrix b{{0, 1}, {1, 0}};
+    const ComplexMatrix k = a.kron(b);
+    // Top-left block = 1 * b, top-right = 2 * b.
+    EXPECT_EQ(k(0, 1), Complex(1, 0));
+    EXPECT_EQ(k(0, 3), Complex(2, 0));
+    EXPECT_EQ(k(2, 1), Complex(3, 0));
+    EXPECT_EQ(k(3, 2), Complex(4, 0));
+}
+
+TEST(ComplexMatrix, KroneckerMixedProduct)
+{
+    // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD).
+    support::Rng rng(5);
+    const ComplexMatrix a = randomMatrix(2, rng);
+    const ComplexMatrix b = randomMatrix(2, rng);
+    const ComplexMatrix c = randomMatrix(2, rng);
+    const ComplexMatrix d = randomMatrix(2, rng);
+    EXPECT_LT((a.kron(b) * c.kron(d)).maxAbsDiff((a * c).kron(b * d)),
+              1e-12);
+}
+
+TEST(ComplexMatrix, TraceSumsDiagonal)
+{
+    const ComplexMatrix a{{1, 9}, {9, 4}};
+    EXPECT_EQ(a.trace(), Complex(5, 0));
+}
+
+TEST(ComplexMatrix, FrobeniusNormOfIdentity)
+{
+    EXPECT_NEAR(ComplexMatrix::identity(9).frobeniusNorm(), 3.0, 1e-12);
+}
+
+TEST(ComplexMatrix, IsUnitaryAcceptsUnitaries)
+{
+    const Complex h = 1.0 / std::sqrt(2.0);
+    const ComplexMatrix had{{h, h}, {h, -h}};
+    EXPECT_TRUE(had.isUnitary());
+    EXPECT_TRUE(ComplexMatrix::identity(8).isUnitary());
+}
+
+TEST(ComplexMatrix, IsUnitaryRejectsNonUnitaries)
+{
+    const ComplexMatrix a{{1, 1}, {0, 1}};
+    EXPECT_FALSE(a.isUnitary());
+}
+
+TEST(ComplexMatrix, MaxAbsDiffFindsLargestDeviation)
+{
+    ComplexMatrix a(2, 2), b(2, 2);
+    b(1, 1) = Complex(0, 3);
+    EXPECT_NEAR(a.maxAbsDiff(b), 3.0, 1e-15);
+}
+
+TEST(ComplexMatrix, ToStringMentionsEntries)
+{
+    const ComplexMatrix a{{1, 0}, {0, 1}};
+    EXPECT_NE(a.toString().find("1"), std::string::npos);
+}
+
+} // namespace
+} // namespace guoq

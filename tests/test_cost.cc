@@ -1,0 +1,116 @@
+/** @file Tests for the optimization objectives (paper §5.1). */
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+
+namespace guoq {
+namespace {
+
+ir::Circuit
+sampleCircuit()
+{
+    ir::Circuit c(3);
+    c.t(0);
+    c.t(1);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.cx(0, 1);
+    c.h(2);
+    return c;
+}
+
+TEST(Cost, TwoQubitCountDominates)
+{
+    const core::CostFunction cost(core::Objective::TwoQubitCount,
+                                  ir::GateSetKind::Nam);
+    const ir::Circuit c = sampleCircuit();
+    EXPECT_NEAR(cost(c), 3.0, 0.01);
+    // One fewer CX beats any number of extra 1q gates.
+    ir::Circuit fewer_cx(3);
+    fewer_cx.cx(0, 1);
+    fewer_cx.cx(1, 2);
+    for (int i = 0; i < 50; ++i)
+        fewer_cx.h(0);
+    EXPECT_LT(cost(fewer_cx), cost(c));
+}
+
+TEST(Cost, TieBreakPrefersFewerTotalGates)
+{
+    const core::CostFunction cost(core::Objective::TwoQubitCount,
+                                  ir::GateSetKind::Nam);
+    ir::Circuit a(2), b(2);
+    a.cx(0, 1);
+    b.cx(0, 1);
+    b.h(0);
+    EXPECT_LT(cost(a), cost(b));
+}
+
+TEST(Cost, TCountObjective)
+{
+    const core::CostFunction cost(core::Objective::TCount,
+                                  ir::GateSetKind::CliffordT);
+    ir::Circuit c(1);
+    c.t(0);
+    c.tdg(0);
+    c.s(0);
+    EXPECT_NEAR(cost(c), 2.0, 0.01);
+}
+
+TEST(Cost, PaperExample51)
+{
+    // cost = 2·#T + #CX.
+    const core::CostFunction cost(core::Objective::TThenTwoQubit,
+                                  ir::GateSetKind::CliffordT);
+    const ir::Circuit c = sampleCircuit(); // 2 T, 3 CX
+    EXPECT_NEAR(cost(c), 2 * 2 + 3, 0.01);
+}
+
+TEST(Cost, FidelityObjectiveOrdersByErrorWeight)
+{
+    const core::CostFunction cost(core::Objective::Fidelity,
+                                  ir::GateSetKind::IbmEagle);
+    // One 2q gate costs more than a dozen 1q gates under realistic
+    // calibration magnitudes.
+    ir::Circuit one_cx(2), many_1q(2);
+    one_cx.cx(0, 1);
+    for (int i = 0; i < 12; ++i)
+        many_1q.x(0);
+    EXPECT_GT(cost(one_cx), cost(many_1q));
+}
+
+TEST(Cost, GateCountAndDepth)
+{
+    const core::CostFunction gates(core::Objective::GateCount,
+                                   ir::GateSetKind::Nam);
+    const core::CostFunction depth(core::Objective::Depth,
+                                   ir::GateSetKind::Nam);
+    ir::Circuit wide(4), deep(4);
+    for (int q = 0; q < 4; ++q)
+        wide.h(q);
+    for (int i = 0; i < 4; ++i)
+        deep.h(0);
+    EXPECT_NEAR(gates(wide), gates(deep), 0.01);
+    EXPECT_LT(depth(wide), depth(deep));
+}
+
+TEST(Cost, EmptyCircuitIsFree)
+{
+    for (core::Objective obj :
+         {core::Objective::TwoQubitCount, core::Objective::TCount,
+          core::Objective::TThenTwoQubit, core::Objective::Fidelity,
+          core::Objective::GateCount, core::Objective::Depth}) {
+        const core::CostFunction cost(obj, ir::GateSetKind::Nam);
+        EXPECT_NEAR(cost(ir::Circuit(3)), 0.0, 1e-12)
+            << core::objectiveName(obj);
+    }
+}
+
+TEST(Cost, ObjectiveNamesAreDistinct)
+{
+    EXPECT_NE(core::objectiveName(core::Objective::TwoQubitCount),
+              core::objectiveName(core::Objective::TCount));
+}
+
+} // namespace
+} // namespace guoq

@@ -1,0 +1,112 @@
+/** @file Tests for the wire-adjacency DAG. */
+
+#include <gtest/gtest.h>
+
+#include "dag/circuit_dag.h"
+#include "tests/test_util.h"
+
+namespace guoq {
+namespace {
+
+TEST(CircuitDag, EmptyCircuit)
+{
+    const dag::CircuitDag d(ir::Circuit(3));
+    EXPECT_EQ(d.numGates(), 0u);
+    EXPECT_EQ(d.firstOnWire(0), dag::kNoGate);
+    EXPECT_EQ(d.lastOnWire(2), dag::kNoGate);
+}
+
+TEST(CircuitDag, LinearChainLinks)
+{
+    ir::Circuit c(1);
+    c.h(0);
+    c.t(0);
+    c.x(0);
+    const dag::CircuitDag d(c);
+    EXPECT_EQ(d.firstOnWire(0), 0u);
+    EXPECT_EQ(d.lastOnWire(0), 2u);
+    EXPECT_EQ(d.next(0, 0), 1u);
+    EXPECT_EQ(d.next(1, 0), 2u);
+    EXPECT_EQ(d.next(2, 0), dag::kNoGate);
+    EXPECT_EQ(d.prev(2, 0), 1u);
+    EXPECT_EQ(d.prev(0, 0), dag::kNoGate);
+}
+
+TEST(CircuitDag, TwoQubitGateLinksBothWires)
+{
+    ir::Circuit c(2);
+    c.h(0);     // 0
+    c.cx(0, 1); // 1
+    c.h(1);     // 2
+    const dag::CircuitDag d(c);
+    EXPECT_EQ(d.next(0, 0), 1u);
+    EXPECT_EQ(d.firstOnWire(1), 1u);
+    EXPECT_EQ(d.next(1, 1), 2u);
+    EXPECT_EQ(d.prev(1, 0), 0u);
+    EXPECT_EQ(d.prev(1, 1), dag::kNoGate);
+}
+
+TEST(CircuitDag, IndependentWiresDontLink)
+{
+    ir::Circuit c(2);
+    c.h(0);
+    c.h(1);
+    const dag::CircuitDag d(c);
+    EXPECT_EQ(d.next(0, 0), dag::kNoGate);
+    EXPECT_EQ(d.next(1, 1), dag::kNoGate);
+}
+
+TEST(CircuitDag, NextPrevAreInverse)
+{
+    support::Rng rng(21);
+    const ir::Circuit c =
+        testutil::randomNativeCircuit(ir::GateSetKind::Nam, 5, 60, rng);
+    const dag::CircuitDag d(c);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        for (int q : c.gate(i).qubits) {
+            const std::size_t n = d.next(i, q);
+            if (n != dag::kNoGate)
+                EXPECT_EQ(d.prev(n, q), i);
+            const std::size_t p = d.prev(i, q);
+            if (p != dag::kNoGate)
+                EXPECT_EQ(d.next(p, q), i);
+        }
+    }
+}
+
+TEST(CircuitDag, WireTraversalVisitsAllGatesInOrder)
+{
+    support::Rng rng(22);
+    const ir::Circuit c = testutil::randomNativeCircuit(
+        ir::GateSetKind::IbmEagle, 4, 50, rng);
+    const dag::CircuitDag d(c);
+    for (int q = 0; q < c.numQubits(); ++q) {
+        std::size_t count = 0;
+        std::size_t prev_idx = 0;
+        for (std::size_t i = d.firstOnWire(q); i != dag::kNoGate;
+             i = d.next(i, q)) {
+            if (count > 0)
+                EXPECT_GT(i, prev_idx); // strictly increasing
+            prev_idx = i;
+            ++count;
+        }
+        std::size_t expected = 0;
+        for (const ir::Gate &g : c.gates())
+            if (g.actsOn(q))
+                ++expected;
+        EXPECT_EQ(count, expected);
+    }
+}
+
+TEST(CircuitDag, NumbersMatchCircuit)
+{
+    ir::Circuit c(4);
+    c.ccx(0, 1, 2);
+    c.h(3);
+    const dag::CircuitDag d(c);
+    EXPECT_EQ(d.numQubits(), 4);
+    EXPECT_EQ(d.numGates(), 2u);
+}
+
+} // namespace
+} // namespace guoq

@@ -1,0 +1,110 @@
+/** @file Tests for ZYZ/ZXZ Euler decompositions. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/decompose_1q.h"
+#include "linalg/unitary.h"
+#include "ir/gate.h"
+#include "ir/gate_kind.h"
+#include "support/rng.h"
+
+namespace guoq {
+namespace {
+
+using linalg::ComplexMatrix;
+
+ComplexMatrix
+randomUnitary1q(support::Rng &rng)
+{
+    return ir::gateMatrix(ir::GateKind::U3,
+                          {rng.uniform(-M_PI, M_PI),
+                           rng.uniform(-M_PI, M_PI),
+                           rng.uniform(-M_PI, M_PI)});
+}
+
+TEST(Decompose1q, RotationMatricesMatchGateMatrices)
+{
+    for (double theta : {-2.1, -0.5, 0.0, 0.4, 1.7, 3.0}) {
+        EXPECT_LT(linalg::rxMatrix(theta).maxAbsDiff(
+                      ir::gateMatrix(ir::GateKind::Rx, {theta})),
+                  1e-12);
+        EXPECT_LT(linalg::ryMatrix(theta).maxAbsDiff(
+                      ir::gateMatrix(ir::GateKind::Ry, {theta})),
+                  1e-12);
+        EXPECT_LT(linalg::rzMatrix(theta).maxAbsDiff(
+                      ir::gateMatrix(ir::GateKind::Rz, {theta})),
+                  1e-12);
+    }
+}
+
+class ZyzRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ZyzRoundTrip, ReconstructsOriginalExactly)
+{
+    support::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const ComplexMatrix u = randomUnitary1q(rng);
+    const linalg::EulerZyz e = linalg::decomposeZyz(u);
+    EXPECT_LT(linalg::fromZyz(e).maxAbsDiff(u), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomUnitaries, ZyzRoundTrip,
+                         ::testing::Range(0, 25));
+
+class ZxzRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ZxzRoundTrip, ReconstructsUpToPhase)
+{
+    support::Rng rng(static_cast<std::uint64_t>(1000 + GetParam()));
+    const ComplexMatrix u = randomUnitary1q(rng);
+    const linalg::EulerZxz e = linalg::decomposeZxz(u);
+    const ComplexMatrix rebuilt =
+        linalg::rzMatrix(e.beta) * linalg::rxMatrix(e.gamma) *
+        linalg::rzMatrix(e.delta);
+    EXPECT_TRUE(linalg::equalUpToGlobalPhase(u, rebuilt, 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomUnitaries, ZxzRoundTrip,
+                         ::testing::Range(0, 25));
+
+TEST(Decompose1q, HadamardZyz)
+{
+    const ComplexMatrix h = ir::gateMatrix(ir::GateKind::H, {});
+    const linalg::EulerZyz e = linalg::decomposeZyz(h);
+    // H ∝ Rz(β) Ry(γ) Rz(δ) with γ = π/2 (up to angle aliasing).
+    EXPECT_NEAR(std::abs(ir::normalizeAngle(e.gamma)), M_PI / 2, 1e-9);
+    EXPECT_LT(linalg::fromZyz(e).maxAbsDiff(h), 1e-9);
+}
+
+TEST(Decompose1q, DiagonalHasZeroGamma)
+{
+    const ComplexMatrix t = ir::gateMatrix(ir::GateKind::T, {});
+    const linalg::EulerZyz e = linalg::decomposeZyz(t);
+    EXPECT_NEAR(ir::normalizeAngle(e.gamma), 0, 1e-9);
+    EXPECT_NEAR(ir::normalizeAngle(e.beta + e.delta - M_PI / 4), 0, 1e-9);
+}
+
+TEST(Decompose1q, IdentityDecomposesToZeros)
+{
+    const linalg::EulerZyz e =
+        linalg::decomposeZyz(ComplexMatrix::identity(2));
+    EXPECT_NEAR(ir::normalizeAngle(e.gamma), 0, 1e-9);
+    EXPECT_NEAR(ir::normalizeAngle(e.beta + e.delta), 0, 1e-9);
+}
+
+TEST(Decompose1q, AntiDiagonalHandled)
+{
+    // X is the fully anti-diagonal case (γ = π).
+    const ComplexMatrix x = ir::gateMatrix(ir::GateKind::X, {});
+    const linalg::EulerZyz e = linalg::decomposeZyz(x);
+    EXPECT_NEAR(std::abs(ir::normalizeAngle(e.gamma)), M_PI, 1e-9);
+    EXPECT_LT(linalg::fromZyz(e).maxAbsDiff(x), 1e-9);
+}
+
+} // namespace
+} // namespace guoq

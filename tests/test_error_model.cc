@@ -1,0 +1,96 @@
+/** @file Tests for the fidelity error models. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fidelity/error_model.h"
+
+namespace guoq {
+namespace {
+
+TEST(ErrorModel, TwoQubitErrorsDominate)
+{
+    for (ir::GateSetKind set : ir::allGateSets()) {
+        const fidelity::ErrorModel &m = fidelity::errorModelFor(set);
+        EXPECT_GT(m.twoQubitError, m.oneQubitError)
+            << ir::gateSetName(set);
+        EXPECT_GT(m.threeQubitError, m.twoQubitError);
+    }
+}
+
+TEST(ErrorModel, GateErrorDispatchesOnArity)
+{
+    const fidelity::ErrorModel &m =
+        fidelity::errorModelFor(ir::GateSetKind::IbmEagle);
+    EXPECT_EQ(m.gateError(ir::Gate(ir::GateKind::X, {0})),
+              m.oneQubitError);
+    EXPECT_EQ(m.gateError(ir::Gate(ir::GateKind::CX, {0, 1})),
+              m.twoQubitError);
+    EXPECT_EQ(m.gateError(ir::Gate(ir::GateKind::CCX, {0, 1, 2})),
+              m.threeQubitError);
+}
+
+TEST(ErrorModel, EmptyCircuitHasUnitFidelity)
+{
+    const fidelity::ErrorModel &m =
+        fidelity::errorModelFor(ir::GateSetKind::Nam);
+    EXPECT_EQ(m.circuitFidelity(ir::Circuit(4)), 1.0);
+    EXPECT_EQ(m.logFidelityCost(ir::Circuit(4)), 0.0);
+}
+
+TEST(ErrorModel, FidelityIsProductOfGateFidelities)
+{
+    const fidelity::ErrorModel &m =
+        fidelity::errorModelFor(ir::GateSetKind::IbmEagle);
+    ir::Circuit c(2);
+    c.x(0);
+    c.cx(0, 1);
+    const double expected =
+        (1 - m.oneQubitError) * (1 - m.twoQubitError);
+    EXPECT_NEAR(m.circuitFidelity(c), expected, 1e-15);
+}
+
+TEST(ErrorModel, MoreGatesMeansLessFidelity)
+{
+    const fidelity::ErrorModel &m =
+        fidelity::errorModelFor(ir::GateSetKind::IonQ);
+    ir::Circuit a(2), b(2);
+    a.rxx(0.5, 0, 1);
+    b.rxx(0.5, 0, 1);
+    b.rxx(0.5, 0, 1);
+    EXPECT_GT(m.circuitFidelity(a), m.circuitFidelity(b));
+}
+
+TEST(ErrorModel, LogCostOrdersLikeFidelity)
+{
+    const fidelity::ErrorModel &m =
+        fidelity::errorModelFor(ir::GateSetKind::Ibmq20);
+    ir::Circuit a(2), b(2);
+    a.cx(0, 1);
+    b.cx(0, 1);
+    b.cx(0, 1);
+    EXPECT_LT(m.logFidelityCost(a), m.logFidelityCost(b));
+    EXPECT_NEAR(std::exp(-m.logFidelityCost(b)), m.circuitFidelity(b),
+                1e-12);
+}
+
+TEST(ErrorModel, SuperconductingAndIonTrapDiffer)
+{
+    EXPECT_NE(
+        fidelity::errorModelFor(ir::GateSetKind::IbmEagle).twoQubitError,
+        fidelity::errorModelFor(ir::GateSetKind::IonQ).twoQubitError);
+}
+
+TEST(ErrorModel, FaultTolerantRatesAreLogical)
+{
+    // Clifford+T rates model logical (error-corrected) qubits: orders
+    // of magnitude below physical NISQ rates.
+    EXPECT_LT(
+        fidelity::errorModelFor(ir::GateSetKind::CliffordT).twoQubitError,
+        fidelity::errorModelFor(ir::GateSetKind::IbmEagle).twoQubitError /
+            100);
+}
+
+} // namespace
+} // namespace guoq

@@ -1,0 +1,119 @@
+/** @file Tests for the finite-set (Clifford+T) annealing synthesizer. */
+
+#include <gtest/gtest.h>
+
+#include "sim/unitary_sim.h"
+#include "synth/finite_synth.h"
+#include "tests/test_util.h"
+
+namespace guoq {
+namespace {
+
+TEST(FiniteSynth, IdentityTargetSucceedsImmediately)
+{
+    support::Rng rng(1);
+    synth::FiniteSynthOptions o;
+    o.epsilon = 1e-6;
+    o.deadline = support::Deadline::in(5);
+    const synth::SynthResult r = synth::finiteSynth(
+        linalg::ComplexMatrix::identity(4), 2, o, rng);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.circuit.size(), 0u);
+}
+
+TEST(FiniteSynth, SeededShrinkRemovesRedundantGates)
+{
+    ir::Circuit sub(2);
+    sub.t(0);
+    sub.cx(0, 1);
+    sub.cx(0, 1); // cancels
+    sub.h(1);
+    sub.h(1); // cancels
+    support::Rng rng(2);
+    synth::FiniteSynthOptions o;
+    o.epsilon = 1e-6;
+    o.deadline = support::Deadline::in(10);
+    o.seed = &sub;
+    const synth::SynthResult r = synth::finiteSynth(
+        sim::circuitUnitary(sub), 2, o, rng);
+    ASSERT_TRUE(r.success);
+    EXPECT_LE(r.circuit.size(), 1u);
+    ir::Circuit check(2);
+    check.append(r.circuit);
+    EXPECT_LT(sim::circuitDistance(sub, check), testutil::kExact);
+}
+
+TEST(FiniteSynth, SynthesizesSimpleCliffordFromScratch)
+{
+    // Target = S on one qubit: findable without a seed.
+    support::Rng rng(3);
+    ir::Circuit t(1);
+    t.s(0);
+    synth::FiniteSynthOptions o;
+    o.epsilon = 1e-6;
+    o.deadline = support::Deadline::in(20);
+    o.rounds = 8;
+    const synth::SynthResult r = synth::finiteSynth(
+        sim::circuitUnitary(t), 1, o, rng);
+    ASSERT_TRUE(r.success);
+    ir::Circuit check(1);
+    check.append(r.circuit);
+    EXPECT_LT(sim::circuitDistance(t, check), testutil::kExact);
+}
+
+TEST(FiniteSynth, ResultUsesOnlyCliffordTGates)
+{
+    ir::Circuit sub(2);
+    sub.t(0);
+    sub.h(1);
+    sub.cx(0, 1);
+    support::Rng rng(4);
+    synth::FiniteSynthOptions o;
+    o.epsilon = 1e-6;
+    o.deadline = support::Deadline::in(10);
+    o.seed = &sub;
+    const synth::SynthResult r = synth::finiteSynth(
+        sim::circuitUnitary(sub), 2, o, rng);
+    ASSERT_TRUE(r.success);
+    for (const ir::Gate &g : r.circuit.gates())
+        EXPECT_TRUE(ir::isNative(ir::GateSetKind::CliffordT, g.kind));
+}
+
+TEST(FiniteSynth, RespectsDeadline)
+{
+    // A hard random 2q target with a tiny deadline must return fast.
+    support::Rng rng(5);
+    ir::Circuit t(2);
+    t.t(0);
+    t.cx(0, 1);
+    t.t(1);
+    t.cx(1, 0);
+    t.tdg(0);
+    t.h(1);
+    synth::FiniteSynthOptions o;
+    o.epsilon = 1e-9;
+    o.deadline = support::Deadline::in(0.3);
+    support::Timer timer;
+    synth::finiteSynth(sim::circuitUnitary(t), 2, o, rng);
+    EXPECT_LT(timer.seconds(), 3.0);
+}
+
+TEST(FiniteSynth, HonorsMaxGatesCap)
+{
+    support::Rng rng(6);
+    ir::Circuit t(2);
+    t.h(0);
+    t.cx(0, 1);
+    synth::FiniteSynthOptions o;
+    o.epsilon = 1e-6;
+    o.maxGates = 6;
+    o.deadline = support::Deadline::in(5);
+    o.seed = &t;
+    const synth::SynthResult r = synth::finiteSynth(
+        sim::circuitUnitary(t), 2, o, rng);
+    if (r.success)
+        EXPECT_LE(r.circuit.size(), 6u);
+}
+
+} // namespace
+} // namespace guoq

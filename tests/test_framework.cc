@@ -1,0 +1,97 @@
+/** @file Tests for the framework instantiation and sampler (§4, §5.3). */
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "rewrite/rule.h"
+
+namespace guoq {
+namespace {
+
+TEST(Framework, CombinedContainsRulesFusionAndResynth)
+{
+    const core::TransformationSet t(
+        ir::GateSetKind::Nam, core::TransformSelection::Combined, 1e-6,
+        0.015, 1.0, 3);
+    EXPECT_TRUE(t.hasFast());
+    EXPECT_TRUE(t.hasResynth());
+    // rules + fusion + 1 resynthesis
+    EXPECT_EQ(t.all().size(),
+              rewrite::rulesFor(ir::GateSetKind::Nam).size() + 2);
+}
+
+TEST(Framework, CliffordTHasNoFusion)
+{
+    const core::TransformationSet t(
+        ir::GateSetKind::CliffordT, core::TransformSelection::Combined,
+        1e-6, 0.015, 1.0, 3);
+    for (const core::Transformation &tau : t.all())
+        EXPECT_NE(tau.kind(), core::TransformKind::Fusion);
+}
+
+TEST(Framework, RewriteOnlyExcludesResynthesis)
+{
+    const core::TransformationSet t(
+        ir::GateSetKind::Nam, core::TransformSelection::RewriteOnly,
+        1e-6, 0.015, 1.0, 3);
+    EXPECT_TRUE(t.hasFast());
+    EXPECT_FALSE(t.hasResynth());
+}
+
+TEST(Framework, ResynthOnlyExcludesRules)
+{
+    const core::TransformationSet t(
+        ir::GateSetKind::Nam, core::TransformSelection::ResynthOnly,
+        1e-6, 0.015, 1.0, 3);
+    EXPECT_FALSE(t.hasFast());
+    EXPECT_TRUE(t.hasResynth());
+    EXPECT_EQ(t.all().size(), 1u);
+}
+
+TEST(Framework, SamplerHitsResynthAtConfiguredRate)
+{
+    const core::TransformationSet t(
+        ir::GateSetKind::Nam, core::TransformSelection::Combined, 1e-6,
+        0.015, 1.0, 3);
+    support::Rng rng(123);
+    int resynth_picks = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const core::Transformation &tau = t.all()[t.sample(rng)];
+        if (tau.kind() == core::TransformKind::Resynthesis)
+            ++resynth_picks;
+    }
+    const double rate = static_cast<double>(resynth_picks) / n;
+    EXPECT_NEAR(rate, 0.015, 0.003); // paper §5.3: 1.5%
+}
+
+TEST(Framework, SamplerUniformOverFastTransforms)
+{
+    const core::TransformationSet t(
+        ir::GateSetKind::CliffordT, core::TransformSelection::RewriteOnly,
+        0, 0.015, 1.0, 3);
+    support::Rng rng(321);
+    std::vector<int> hits(t.all().size(), 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++hits[t.sample(rng)];
+    const double expected =
+        static_cast<double>(n) / static_cast<double>(t.all().size());
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_NEAR(hits[i], expected, expected * 0.25)
+            << t.all()[i].name();
+}
+
+TEST(Framework, ResynthOnlySamplerAlwaysPicksResynth)
+{
+    const core::TransformationSet t(
+        ir::GateSetKind::Nam, core::TransformSelection::ResynthOnly,
+        1e-6, 0.015, 1.0, 3);
+    support::Rng rng(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(t.all()[t.sample(rng)].kind(),
+                  core::TransformKind::Resynthesis);
+}
+
+} // namespace
+} // namespace guoq

@@ -1,0 +1,161 @@
+/** @file Tests for the gate vocabulary (ir::GateKind). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/gate_kind.h"
+#include "linalg/unitary.h"
+
+namespace guoq {
+namespace {
+
+std::vector<ir::GateKind>
+allKinds()
+{
+    std::vector<ir::GateKind> out;
+    for (int k = 0; k < static_cast<int>(ir::GateKind::NumKinds); ++k)
+        out.push_back(static_cast<ir::GateKind>(k));
+    return out;
+}
+
+class EveryGateKind : public ::testing::TestWithParam<ir::GateKind>
+{
+};
+
+TEST_P(EveryGateKind, MatrixIsUnitaryAndProperlySized)
+{
+    const ir::GateKind kind = GetParam();
+    std::vector<double> params(
+        static_cast<std::size_t>(ir::gateParamCount(kind)), 0.37);
+    const linalg::ComplexMatrix u = ir::gateMatrix(kind, params);
+    const std::size_t dim = std::size_t{1} << ir::gateArity(kind);
+    EXPECT_EQ(u.rows(), dim);
+    EXPECT_EQ(u.cols(), dim);
+    EXPECT_TRUE(u.isUnitary());
+}
+
+TEST_P(EveryGateKind, NameRoundTrips)
+{
+    const ir::GateKind kind = GetParam();
+    ir::GateKind back;
+    ASSERT_TRUE(ir::gateKindFromName(ir::gateName(kind), &back));
+    EXPECT_EQ(back, kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EveryGateKind, ::testing::ValuesIn(allKinds()),
+    [](const ::testing::TestParamInfo<ir::GateKind> &info) {
+        return ir::gateName(info.param);
+    });
+
+TEST(GateKind, ArityValues)
+{
+    EXPECT_EQ(ir::gateArity(ir::GateKind::H), 1);
+    EXPECT_EQ(ir::gateArity(ir::GateKind::CX), 2);
+    EXPECT_EQ(ir::gateArity(ir::GateKind::Rxx), 2);
+    EXPECT_EQ(ir::gateArity(ir::GateKind::CCX), 3);
+}
+
+TEST(GateKind, ParamCounts)
+{
+    EXPECT_EQ(ir::gateParamCount(ir::GateKind::X), 0);
+    EXPECT_EQ(ir::gateParamCount(ir::GateKind::Rz), 1);
+    EXPECT_EQ(ir::gateParamCount(ir::GateKind::U2), 2);
+    EXPECT_EQ(ir::gateParamCount(ir::GateKind::U3), 3);
+}
+
+TEST(GateKind, UnknownNameRejected)
+{
+    ir::GateKind out;
+    EXPECT_FALSE(ir::gateKindFromName("frobnicate", &out));
+}
+
+TEST(GateKind, TwoQubitPredicate)
+{
+    EXPECT_TRUE(ir::isTwoQubitGate(ir::GateKind::CX));
+    EXPECT_TRUE(ir::isTwoQubitGate(ir::GateKind::Rxx));
+    EXPECT_FALSE(ir::isTwoQubitGate(ir::GateKind::H));
+    EXPECT_FALSE(ir::isTwoQubitGate(ir::GateKind::CCX));
+}
+
+TEST(GateKind, TGatePredicateCountsBothDirections)
+{
+    EXPECT_TRUE(ir::isTGate(ir::GateKind::T));
+    EXPECT_TRUE(ir::isTGate(ir::GateKind::Tdg));
+    EXPECT_FALSE(ir::isTGate(ir::GateKind::S));
+}
+
+TEST(GateKind, PaperExample31TMatrix)
+{
+    // Example 3.1: U_T = diag(1, e^{iπ/4}).
+    const linalg::ComplexMatrix t = ir::gateMatrix(ir::GateKind::T, {});
+    EXPECT_NEAR(std::abs(t(0, 0) - linalg::Complex(1, 0)), 0, 1e-12);
+    EXPECT_NEAR(std::abs(t(1, 1) - std::polar(1.0, M_PI / 4)), 0, 1e-12);
+    EXPECT_NEAR(std::abs(t(0, 1)), 0, 1e-12);
+}
+
+TEST(GateKind, PaperExample31CxMatrix)
+{
+    // Example 3.1: U_CX has the |10> <-> |11> swap block.
+    const linalg::ComplexMatrix cx = ir::gateMatrix(ir::GateKind::CX, {});
+    EXPECT_NEAR(std::abs(cx(2, 3) - linalg::Complex(1, 0)), 0, 1e-12);
+    EXPECT_NEAR(std::abs(cx(3, 2) - linalg::Complex(1, 0)), 0, 1e-12);
+    EXPECT_NEAR(std::abs(cx(0, 0) - linalg::Complex(1, 0)), 0, 1e-12);
+    EXPECT_NEAR(std::abs(cx(2, 2)), 0, 1e-12);
+}
+
+TEST(GateKind, AlgebraicIdentities)
+{
+    using ir::GateKind;
+    // S = T², Z = S², SX² = X.
+    const auto t = ir::gateMatrix(GateKind::T, {});
+    const auto s = ir::gateMatrix(GateKind::S, {});
+    const auto z = ir::gateMatrix(GateKind::Z, {});
+    const auto sx = ir::gateMatrix(GateKind::SX, {});
+    const auto x = ir::gateMatrix(GateKind::X, {});
+    EXPECT_LT((t * t).maxAbsDiff(s), 1e-12);
+    EXPECT_LT((s * s).maxAbsDiff(z), 1e-12);
+    EXPECT_LT((sx * sx).maxAbsDiff(x), 1e-12);
+}
+
+TEST(GateKind, InverseIdentities)
+{
+    using ir::GateKind;
+    const auto t = ir::gateMatrix(GateKind::T, {});
+    const auto tdg = ir::gateMatrix(GateKind::Tdg, {});
+    EXPECT_LT((t * tdg).maxAbsDiff(linalg::ComplexMatrix::identity(2)),
+              1e-12);
+    const auto s = ir::gateMatrix(GateKind::S, {});
+    const auto sdg = ir::gateMatrix(GateKind::Sdg, {});
+    EXPECT_LT((s * sdg).maxAbsDiff(linalg::ComplexMatrix::identity(2)),
+              1e-12);
+}
+
+TEST(GateKind, RotationComposition)
+{
+    // Rz(a) Rz(b) = Rz(a+b) exactly.
+    const auto a = ir::gateMatrix(ir::GateKind::Rz, {0.4});
+    const auto b = ir::gateMatrix(ir::GateKind::Rz, {1.1});
+    const auto ab = ir::gateMatrix(ir::GateKind::Rz, {1.5});
+    EXPECT_LT((a * b).maxAbsDiff(ab), 1e-12);
+}
+
+TEST(GateKind, U2IsU3WithPiOver2)
+{
+    const auto u2 = ir::gateMatrix(ir::GateKind::U2, {0.3, 0.9});
+    const auto u3 = ir::gateMatrix(ir::GateKind::U3, {M_PI / 2, 0.3, 0.9});
+    EXPECT_LT(u2.maxAbsDiff(u3), 1e-12);
+}
+
+TEST(GateKind, CpDiagonal)
+{
+    const auto cp = ir::gateMatrix(ir::GateKind::CP, {0.7});
+    EXPECT_NEAR(std::abs(cp(3, 3) - std::polar(1.0, 0.7)), 0, 1e-12);
+    EXPECT_NEAR(std::abs(cp(0, 0) - linalg::Complex(1, 0)), 0, 1e-12);
+    EXPECT_NEAR(std::abs(cp(1, 1) - linalg::Complex(1, 0)), 0, 1e-12);
+    EXPECT_NEAR(std::abs(cp(2, 2) - linalg::Complex(1, 0)), 0, 1e-12);
+}
+
+} // namespace
+} // namespace guoq

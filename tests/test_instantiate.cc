@@ -1,0 +1,155 @@
+/** @file Tests for ansatz templates and numerical instantiation. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/unitary_sim.h"
+#include "synth/instantiate.h"
+#include "tests/test_util.h"
+
+namespace guoq {
+namespace {
+
+TEST(Ansatz, InitialAnsatzShape)
+{
+    const synth::Ansatz a = synth::initialAnsatz(3);
+    EXPECT_EQ(a.numParams(), 9);
+    EXPECT_EQ(a.gates().size(), 9u);
+    EXPECT_EQ(a.twoQubitCount(), 0);
+}
+
+TEST(Ansatz, EntanglerBlockAddsCxAndDressing)
+{
+    synth::Ansatz a = synth::initialAnsatz(2);
+    synth::appendEntanglerBlock(&a, 0, 1, false);
+    EXPECT_EQ(a.numParams(), 12);
+    EXPECT_EQ(a.twoQubitCount(), 1);
+}
+
+TEST(Ansatz, RxxBlockIsParameterized)
+{
+    synth::Ansatz a = synth::initialAnsatz(2);
+    synth::appendEntanglerBlock(&a, 0, 1, true);
+    EXPECT_EQ(a.numParams(), 13); // entangler angle is free too
+}
+
+TEST(Ansatz, InstantiateBindsParameters)
+{
+    synth::Ansatz a(1);
+    a.addParameterized(ir::GateKind::Rz, {0});
+    a.addFixed(ir::GateKind::Ry, {0}, 0.5);
+    const ir::Circuit c = a.instantiate({1.25});
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_NEAR(c.gate(0).params[0], 1.25, 1e-15);
+    EXPECT_NEAR(c.gate(1).params[0], 0.5, 1e-15);
+}
+
+class GradientCheck : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GradientCheck, AnalyticMatchesNumeric)
+{
+    support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 311 + 7);
+    synth::Ansatz a = synth::initialAnsatz(2);
+    synth::appendEntanglerBlock(&a, 0, 1, GetParam() % 2 == 1);
+
+    const ir::Circuit target_circuit = testutil::randomNativeCircuit(
+        ir::GateSetKind::IbmEagle, 2, 8, rng);
+    const linalg::ComplexMatrix target =
+        sim::circuitUnitary(target_circuit);
+
+    std::vector<double> x(static_cast<std::size_t>(a.numParams()));
+    for (double &xi : x)
+        xi = rng.uniform(-2, 2);
+    std::vector<double> grad;
+    const double f0 = synth::hsCostAndGrad(a, target, x, &grad);
+
+    const double h = 1e-6;
+    for (std::size_t k = 0; k < x.size(); k += 3) {
+        std::vector<double> xp = x;
+        xp[k] += h;
+        const double fp = synth::hsCostAndGrad(a, target, xp, nullptr);
+        EXPECT_NEAR((fp - f0) / h, grad[k], 1e-4) << "param " << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GradientCheck, ::testing::Range(0, 8));
+
+TEST(Instantiate, FitsSingleQubitTarget)
+{
+    support::Rng rng(3);
+    synth::Ansatz a = synth::initialAnsatz(1);
+    ir::Circuit t(1);
+    t.u3(0.7, -1.1, 2.2, 0);
+    const synth::InstantiateResult r = synth::instantiate(
+        a, sim::circuitUnitary(t), 1e-7, 4, rng, support::Deadline::in(10));
+    EXPECT_TRUE(r.success);
+    EXPECT_LE(r.hsDistanceValue, 1e-7);
+}
+
+TEST(Instantiate, FitsTwoQubitTargetWithTwoBlocks)
+{
+    support::Rng rng(4);
+    synth::Ansatz a = synth::initialAnsatz(2);
+    synth::appendEntanglerBlock(&a, 0, 1, false);
+    synth::appendEntanglerBlock(&a, 0, 1, false);
+    ir::Circuit t(2);
+    t.h(0);
+    t.cx(0, 1);
+    t.rz(0.3, 1);
+    t.cx(0, 1);
+    const synth::InstantiateResult r = synth::instantiate(
+        a, sim::circuitUnitary(t), 1e-6, 6, rng,
+        support::Deadline::in(20));
+    EXPECT_TRUE(r.success);
+}
+
+TEST(Instantiate, ReportsFailureWhenStructureTooWeak)
+{
+    // A bare 1q layer cannot realize an entangling target.
+    support::Rng rng(5);
+    synth::Ansatz a = synth::initialAnsatz(2);
+    ir::Circuit t(2);
+    t.h(0);
+    t.cx(0, 1);
+    const synth::InstantiateResult r = synth::instantiate(
+        a, sim::circuitUnitary(t), 1e-6, 3, rng,
+        support::Deadline::in(5));
+    EXPECT_FALSE(r.success);
+    EXPECT_GT(r.hsDistanceValue, 0.05);
+}
+
+TEST(Instantiate, WarmStartHintConverges)
+{
+    // Fit once, perturb, refit with the hint: should converge quickly.
+    support::Rng rng(6);
+    synth::Ansatz a = synth::initialAnsatz(2);
+    synth::appendEntanglerBlock(&a, 0, 1, false);
+    std::vector<double> truth(static_cast<std::size_t>(a.numParams()));
+    for (double &v : truth)
+        v = rng.uniform(-M_PI, M_PI);
+    const linalg::ComplexMatrix target =
+        sim::circuitUnitary(a.instantiate(truth));
+    const synth::InstantiateResult r = synth::instantiate(
+        a, target, 1e-7, 1, rng, support::Deadline::in(10), &truth);
+    EXPECT_TRUE(r.success);
+}
+
+TEST(Instantiate, HonorsDeadline)
+{
+    support::Rng rng(7);
+    synth::Ansatz a = synth::initialAnsatz(3);
+    for (int i = 0; i < 6; ++i)
+        synth::appendEntanglerBlock(&a, i % 2, i % 2 + 1, false);
+    ir::Circuit t(3);
+    t.ccx(0, 1, 2);
+    support::Timer timer;
+    synth::instantiate(a, sim::circuitUnitary(t), 1e-12, 100, rng,
+                       support::Deadline::in(0.2));
+    EXPECT_LT(timer.seconds(), 2.0);
+}
+
+} // namespace
+} // namespace guoq

@@ -1,0 +1,140 @@
+/** @file Tests for the phase-polynomial (PyZX-profile) optimizer. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/phase_poly.h"
+#include "sim/unitary_sim.h"
+#include "tests/test_util.h"
+#include "transpile/to_gate_set.h"
+#include "workloads/standard.h"
+
+namespace guoq {
+namespace {
+
+TEST(PhasePoly, MergesRotationsAcrossCxStructure)
+{
+    // Rz on q1, conjugated through a CX pair, then another Rz on the
+    // same parity: they merge even though they are far apart.
+    ir::Circuit c(2);
+    c.rz(0.25, 1);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    c.rz(0.5, 1);
+    const ir::Circuit out =
+        baselines::phasePolyOptimize(c, ir::GateSetKind::Nam);
+    EXPECT_EQ(out.countOf(ir::GateKind::Rz), 1u);
+    EXPECT_EQ(out.twoQubitGateCount(), 2u);
+    EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact);
+}
+
+TEST(PhasePoly, MergesTGatesInToffoliChains)
+{
+    // The classic Nam-style win: adjacent CCX decompositions share
+    // parities, so T gates merge across the chain.
+    ir::Circuit chain(3);
+    chain.ccx(0, 1, 2);
+    chain.ccx(0, 1, 2);
+    const ir::Circuit c =
+        transpile::toGateSet(chain, ir::GateSetKind::CliffordT);
+    baselines::PhasePolyStats stats;
+    const ir::Circuit out = baselines::phasePolyOptimize(
+        c, ir::GateSetKind::CliffordT, &stats);
+    EXPECT_LT(out.tGateCount(), c.tGateCount());
+    EXPECT_GT(stats.rotationsMerged, 0);
+    EXPECT_EQ(out.twoQubitGateCount(), c.twoQubitGateCount());
+    EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact);
+}
+
+TEST(PhasePoly, CxCountAlwaysPreserved)
+{
+    // The PyZX profile (Fig. 12): T goes down, CX never changes.
+    support::Rng rng(3);
+    for (int trial = 0; trial < 6; ++trial) {
+        const ir::Circuit c = testutil::randomNativeCircuit(
+            ir::GateSetKind::CliffordT, 4, 40, rng);
+        const ir::Circuit out = baselines::phasePolyOptimize(
+            c, ir::GateSetKind::CliffordT);
+        EXPECT_EQ(out.twoQubitGateCount(), c.twoQubitGateCount());
+        EXPECT_LE(out.tGateCount(), c.tGateCount());
+        EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact);
+    }
+}
+
+TEST(PhasePoly, BarriersPreventUnsoundMerging)
+{
+    // An H between two Rz's on the same wire re-mints the parity: they
+    // must NOT merge.
+    ir::Circuit c(1);
+    c.rz(0.25, 0);
+    c.h(0);
+    c.rz(0.5, 0);
+    const ir::Circuit out =
+        baselines::phasePolyOptimize(c, ir::GateSetKind::Nam);
+    EXPECT_EQ(out.countOf(ir::GateKind::Rz), 2u);
+    EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact);
+}
+
+TEST(PhasePoly, XGateFlipsRotationSign)
+{
+    // Rz(θ) X Rz(θ) X: the second rotation acts on the flipped wire,
+    // contributing -θ — net diagonal is identity up to phase on the
+    // parity term, leaving a single merged rotation of angle 0.
+    ir::Circuit c(1);
+    c.rz(0.7, 0);
+    c.x(0);
+    c.rz(0.7, 0);
+    c.x(0);
+    const ir::Circuit out =
+        baselines::phasePolyOptimize(c, ir::GateSetKind::Nam);
+    EXPECT_EQ(out.countOf(ir::GateKind::Rz), 0u);
+    EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact);
+}
+
+TEST(PhasePoly, SwapTracksParities)
+{
+    ir::Circuit c(2);
+    c.rz(0.3, 0);
+    c.swap(0, 1);
+    c.rz(0.4, 1); // same logical wire after the swap: merges
+    const ir::Circuit out =
+        baselines::phasePolyOptimize(c, ir::GateSetKind::Nam);
+    EXPECT_EQ(out.countOf(ir::GateKind::Rz), 1u);
+    EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact);
+}
+
+TEST(PhasePoly, CancellingRotationsVanish)
+{
+    ir::Circuit c(2);
+    c.t(0);
+    c.cx(0, 1);
+    c.tdg(0); // same parity as the T (control untouched by CX)
+    const ir::Circuit out =
+        baselines::phasePolyOptimize(c, ir::GateSetKind::CliffordT);
+    EXPECT_EQ(out.tGateCount(), 0u);
+    EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact);
+}
+
+TEST(PhasePoly, SemanticsPreservedOnWorkloads)
+{
+    const ir::Circuit c = transpile::toGateSet(
+        workloads::cuccaroAdder(2), ir::GateSetKind::CliffordT);
+    const ir::Circuit out = baselines::phasePolyOptimize(
+        c, ir::GateSetKind::CliffordT);
+    EXPECT_LE(out.tGateCount(), c.tGateCount());
+    EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact);
+}
+
+TEST(PhasePoly, Ibmq20EmitsU1)
+{
+    ir::Circuit c(1);
+    c.u1(0.2, 0);
+    c.u1(0.3, 0);
+    const ir::Circuit out =
+        baselines::phasePolyOptimize(c, ir::GateSetKind::Ibmq20);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.gate(0).kind, ir::GateKind::U1);
+    EXPECT_NEAR(out.gate(0).params[0], 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace guoq

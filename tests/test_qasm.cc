@@ -1,0 +1,161 @@
+/** @file Tests for the OpenQASM 2.0 printer and parser. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qasm/parser.h"
+#include "qasm/printer.h"
+#include "sim/unitary_sim.h"
+#include "tests/test_util.h"
+#include "workloads/standard.h"
+
+namespace guoq {
+namespace {
+
+TEST(QasmPrinter, EmitsHeaderAndRegister)
+{
+    ir::Circuit c(3);
+    c.h(0);
+    const std::string q = qasm::toQasm(c);
+    EXPECT_NE(q.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(q.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(q.find("h q[0];"), std::string::npos);
+}
+
+TEST(QasmPrinter, EmitsParameters)
+{
+    ir::Circuit c(1);
+    c.rz(0.5, 0);
+    EXPECT_NE(qasm::toQasm(c).find("rz(0.5) q[0];"), std::string::npos);
+}
+
+TEST(QasmPrinter, EmitsExtraDefsOnlyWhenNeeded)
+{
+    ir::Circuit plain(2);
+    plain.cx(0, 1);
+    EXPECT_EQ(qasm::toQasm(plain).find("gate rxx"), std::string::npos);
+    ir::Circuit fancy(2);
+    fancy.rxx(0.3, 0, 1);
+    EXPECT_NE(qasm::toQasm(fancy).find("gate rxx"), std::string::npos);
+}
+
+TEST(QasmParser, ParsesSimpleProgram)
+{
+    const ir::Circuit c = qasm::parse(R"(
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[2];
+        h q[0];
+        cx q[0], q[1];
+    )");
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.numQubits(), 2);
+    EXPECT_EQ(c.gate(0).kind, ir::GateKind::H);
+    EXPECT_EQ(c.gate(1).kind, ir::GateKind::CX);
+}
+
+TEST(QasmParser, EvaluatesAngleExpressions)
+{
+    const ir::Circuit c = qasm::parse(
+        "qreg q[1]; rz(pi/2) q[0]; rz(-pi) q[0]; rz(3*pi/4+0.5) q[0]; "
+        "rz((1+2)*0.25) q[0];");
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_NEAR(c.gate(0).params[0], M_PI / 2, 1e-12);
+    EXPECT_NEAR(c.gate(1).params[0], -M_PI, 1e-12);
+    EXPECT_NEAR(c.gate(2).params[0], 3 * M_PI / 4 + 0.5, 1e-12);
+    EXPECT_NEAR(c.gate(3).params[0], 0.75, 1e-12);
+}
+
+TEST(QasmParser, FlattensMultipleRegisters)
+{
+    const ir::Circuit c = qasm::parse(
+        "qreg a[2]; qreg b[2]; cx a[1], b[0];");
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.numQubits(), 4);
+    EXPECT_EQ(c.gate(0).qubits[0], 1);
+    EXPECT_EQ(c.gate(0).qubits[1], 2);
+}
+
+TEST(QasmParser, IgnoresBarriersCommentsCreg)
+{
+    const ir::Circuit c = qasm::parse(R"(
+        // a comment
+        qreg q[2];
+        creg c[2];
+        h q[0]; // trailing comment
+        barrier q[0], q[1];
+        x q[1];
+    )");
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(QasmParser, SkipsGateDefinitions)
+{
+    const ir::Circuit c = qasm::parse(R"(
+        qreg q[1];
+        gate mygate(a) x { rz(a) x; rz(a) x; }
+        t q[0];
+    )");
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.gate(0).kind, ir::GateKind::T);
+}
+
+TEST(QasmParser, RejectsMeasurement)
+{
+    EXPECT_EXIT(qasm::parse("qreg q[1]; creg c[1]; measure q[0] -> c[0];"),
+                ::testing::ExitedWithCode(1), "measure");
+}
+
+TEST(QasmParser, RejectsUnknownGate)
+{
+    EXPECT_EXIT(qasm::parse("qreg q[1]; zzz q[0];"),
+                ::testing::ExitedWithCode(1), "unknown gate");
+}
+
+TEST(QasmParser, RejectsOutOfRangeQubit)
+{
+    EXPECT_EXIT(qasm::parse("qreg q[2]; h q[5];"),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(QasmParser, RejectsArityMismatch)
+{
+    EXPECT_EXIT(qasm::parse("qreg q[2]; cx q[0];"),
+                ::testing::ExitedWithCode(1), "expects");
+}
+
+class QasmRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QasmRoundTrip, PrintParsePreservesSemantics)
+{
+    support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 41 + 5);
+    const auto sets = ir::allGateSets();
+    const ir::GateSetKind set =
+        sets[static_cast<std::size_t>(GetParam()) % sets.size()];
+    const ir::Circuit c = testutil::randomNativeCircuit(set, 4, 25, rng);
+    const ir::Circuit back = qasm::parse(qasm::toQasm(c));
+    ASSERT_EQ(back.size(), c.size());
+    EXPECT_LT(sim::circuitDistance(c, back), testutil::kExact);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSets, QasmRoundTrip, ::testing::Range(0, 15));
+
+TEST(QasmRoundTripWorkloads, QftSurvives)
+{
+    const ir::Circuit c = workloads::qft(4);
+    const ir::Circuit back = qasm::parse(qasm::toQasm(c));
+    EXPECT_LT(sim::circuitDistance(c, back), testutil::kExact);
+}
+
+TEST(QasmRoundTripWorkloads, ToffoliChainSurvives)
+{
+    const ir::Circuit c = workloads::barencoTof(3);
+    const ir::Circuit back = qasm::parse(qasm::toQasm(c));
+    EXPECT_LT(sim::circuitDistance(c, back), testutil::kExact);
+}
+
+} // namespace
+} // namespace guoq

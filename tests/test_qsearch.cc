@@ -1,0 +1,134 @@
+/** @file Tests for QSearch-style continuous synthesis. */
+
+#include <gtest/gtest.h>
+
+#include "sim/unitary_sim.h"
+#include "synth/qsearch.h"
+#include "tests/test_util.h"
+
+namespace guoq {
+namespace {
+
+synth::QSearchOptions
+quickOptions(double eps = 1e-6, double seconds = 15)
+{
+    synth::QSearchOptions o;
+    o.epsilon = eps;
+    o.deadline = support::Deadline::in(seconds);
+    return o;
+}
+
+TEST(QSearch, OneQubitIsExactAndImmediate)
+{
+    support::Rng rng(1);
+    ir::Circuit t(1);
+    t.u3(0.9, 0.4, -1.3, 0);
+    const synth::SynthResult r = synth::qsearch(
+        sim::circuitUnitary(t), 1, quickOptions(), rng);
+    ASSERT_TRUE(r.success);
+    EXPECT_LE(r.circuit.size(), 3u);
+    EXPECT_LT(sim::circuitDistance(t, r.circuit), testutil::kExact);
+}
+
+TEST(QSearch, IdentityNeedsNoEntanglers)
+{
+    support::Rng rng(2);
+    const synth::SynthResult r = synth::qsearch(
+        linalg::ComplexMatrix::identity(4), 2, quickOptions(), rng);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.circuit.twoQubitGateCount(), 0u);
+}
+
+TEST(QSearch, LocalUnitaryNeedsNoEntanglers)
+{
+    support::Rng rng(3);
+    ir::Circuit t(2);
+    t.h(0);
+    t.rz(0.7, 1);
+    const synth::SynthResult r = synth::qsearch(
+        sim::circuitUnitary(t), 2, quickOptions(), rng);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.circuit.twoQubitGateCount(), 0u);
+}
+
+TEST(QSearch, BellPreparationNeedsOneEntangler)
+{
+    support::Rng rng(4);
+    ir::Circuit t(2);
+    t.h(0);
+    t.cx(0, 1);
+    const synth::SynthResult r = synth::qsearch(
+        sim::circuitUnitary(t), 2, quickOptions(), rng);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.circuit.twoQubitGateCount(), 1u);
+    ir::Circuit check(2);
+    check.append(r.circuit);
+    EXPECT_LT(sim::circuitDistance(t, check), 1e-5);
+}
+
+TEST(QSearch, SeedDeletionRemovesRedundantEntanglers)
+{
+    // Two adjacent CXs cancel: the seeded search must find ≤ ... 0.
+    support::Rng rng(5);
+    ir::Circuit t(2);
+    t.cx(0, 1);
+    t.cx(0, 1);
+    t.rz(0.4, 0);
+    synth::QSearchOptions o = quickOptions();
+    o.seedEntanglers = {{0, 1}, {0, 1}};
+    const synth::SynthResult r =
+        synth::qsearch(sim::circuitUnitary(t), 2, o, rng);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.circuit.twoQubitGateCount(), 0u);
+}
+
+TEST(QSearch, RxxModeEmitsRxxEntanglers)
+{
+    support::Rng rng(6);
+    ir::Circuit t(2);
+    t.rxx(0.9, 0, 1);
+    synth::QSearchOptions o = quickOptions();
+    o.useRxx = true;
+    o.seedEntanglers = {{0, 1}};
+    const synth::SynthResult r =
+        synth::qsearch(sim::circuitUnitary(t), 2, o, rng);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.circuit.countOf(ir::GateKind::CX), 0u);
+    EXPECT_LE(r.circuit.countOf(ir::GateKind::Rxx), 1u);
+}
+
+TEST(QSearch, ResultRespectsEpsilon)
+{
+    support::Rng rng(7);
+    ir::Circuit t(2);
+    t.h(0);
+    t.cx(0, 1);
+    t.rz(1.3, 1);
+    t.cx(0, 1);
+    const double eps = 1e-6;
+    const synth::SynthResult r =
+        synth::qsearch(sim::circuitUnitary(t), 2, quickOptions(eps), rng);
+    ASSERT_TRUE(r.success);
+    EXPECT_LE(r.distance, eps);
+    ir::Circuit check(2);
+    check.append(r.circuit);
+    EXPECT_LE(sim::circuitDistance(t, check), eps * 2);
+}
+
+TEST(QSearch, FailureReportsBestAttempt)
+{
+    // Impossible budget: zero entanglers allowed for a CX target.
+    support::Rng rng(8);
+    ir::Circuit t(2);
+    t.cx(0, 1);
+    synth::QSearchOptions o = quickOptions(1e-8, 3);
+    o.maxEntanglers = 0;
+    const synth::SynthResult r =
+        synth::qsearch(sim::circuitUnitary(t), 2, o, rng);
+    EXPECT_FALSE(r.success);
+    EXPECT_GT(r.distance, 0.01);
+    EXPECT_GE(r.nodesExpanded, 1);
+}
+
+} // namespace
+} // namespace guoq

@@ -1,0 +1,118 @@
+/** @file Tests for the statevector simulator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/statevector.h"
+#include "sim/unitary_sim.h"
+#include "tests/test_util.h"
+
+namespace guoq {
+namespace {
+
+TEST(StateVector, StartsInAllZeros)
+{
+    sim::StateVector s(3);
+    EXPECT_EQ(s.dim(), 8u);
+    EXPECT_NEAR(s.probability(0), 1.0, 1e-12);
+}
+
+TEST(StateVector, HadamardCreatesUniformSuperposition)
+{
+    ir::Circuit c(1);
+    c.h(0);
+    const sim::StateVector s = sim::runCircuit(c);
+    EXPECT_NEAR(s.probability(0), 0.5, 1e-12);
+    EXPECT_NEAR(s.probability(1), 0.5, 1e-12);
+}
+
+TEST(StateVector, BellState)
+{
+    ir::Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    const sim::StateVector s = sim::runCircuit(c);
+    EXPECT_NEAR(s.probability(0), 0.5, 1e-12); // |00>
+    EXPECT_NEAR(s.probability(3), 0.5, 1e-12); // |11>
+    EXPECT_NEAR(s.probability(1), 0.0, 1e-12);
+    EXPECT_NEAR(s.probability(2), 0.0, 1e-12);
+}
+
+TEST(StateVector, XSetsQubit0AsMsb)
+{
+    ir::Circuit c(2);
+    c.x(0);
+    const sim::StateVector s = sim::runCircuit(c);
+    EXPECT_NEAR(s.probability(2), 1.0, 1e-12); // |10>
+}
+
+TEST(StateVector, MatchesUnitarySimulatorColumnZero)
+{
+    support::Rng rng(4);
+    for (int trial = 0; trial < 5; ++trial) {
+        const ir::Circuit c = testutil::randomNativeCircuit(
+            ir::GateSetKind::IbmEagle, 4, 30, rng);
+        const sim::StateVector s = sim::runCircuit(c);
+        const linalg::ComplexMatrix u = sim::circuitUnitary(c);
+        for (std::size_t i = 0; i < s.dim(); ++i)
+            EXPECT_NEAR(std::abs(s.amplitudes()[i] - u(i, 0)), 0, 1e-9);
+    }
+}
+
+TEST(StateVector, NormPreserved)
+{
+    support::Rng rng(5);
+    const ir::Circuit c =
+        testutil::randomNativeCircuit(ir::GateSetKind::IonQ, 5, 60, rng);
+    const sim::StateVector s = sim::runCircuit(c);
+    double total = 0;
+    for (std::size_t i = 0; i < s.dim(); ++i)
+        total += s.probability(i);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(StateVector, OverlapOfIdenticalStatesIsOne)
+{
+    ir::Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(0.7, 2);
+    const sim::StateVector a = sim::runCircuit(c);
+    const sim::StateVector b = sim::runCircuit(c);
+    EXPECT_NEAR(a.overlap(b), 1.0, 1e-10);
+}
+
+TEST(StateVector, OverlapOfOrthogonalStatesIsZero)
+{
+    ir::Circuit cx(1);
+    cx.x(0);
+    const sim::StateVector zero = sim::runCircuit(ir::Circuit(1));
+    const sim::StateVector one = sim::runCircuit(cx);
+    EXPECT_NEAR(zero.overlap(one), 0.0, 1e-12);
+}
+
+TEST(StateVector, GhzHasTwoOutcomes)
+{
+    ir::Circuit c(4);
+    c.h(0);
+    for (int q = 1; q < 4; ++q)
+        c.cx(q - 1, q);
+    const sim::StateVector s = sim::runCircuit(c);
+    EXPECT_NEAR(s.probability(0), 0.5, 1e-10);
+    EXPECT_NEAR(s.probability(15), 0.5, 1e-10);
+}
+
+TEST(StateVector, LargerRegisterRuns)
+{
+    // 16 qubits: beyond the unitary simulator's comfort zone but fine
+    // for the statevector.
+    ir::Circuit c(16);
+    for (int q = 0; q < 16; ++q)
+        c.h(q);
+    const sim::StateVector s = sim::runCircuit(c);
+    EXPECT_NEAR(s.probability(12345), 1.0 / 65536.0, 1e-12);
+}
+
+} // namespace
+} // namespace guoq

@@ -1,0 +1,222 @@
+/** @file Tests for convex subcircuit selection, extraction, splicing. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dag/subcircuit.h"
+#include "sim/unitary_sim.h"
+#include "tests/test_util.h"
+
+namespace guoq {
+namespace {
+
+/** Exhaustive convexity check: no path leaves and re-enters the set. */
+bool
+isConvex(const ir::Circuit &c, const std::vector<std::size_t> &indices)
+{
+    const std::set<std::size_t> sel(indices.begin(), indices.end());
+    // reach[i] = true when gate i is reachable from the selection via
+    // dependency edges through unselected gates.
+    std::vector<bool> tainted(c.size(), false);
+    std::vector<int> last_writer(static_cast<std::size_t>(c.numQubits()),
+                                 -1);
+    std::vector<bool> last_was_bad(
+        static_cast<std::size_t>(c.numQubits()), false);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        bool fed_by_bad = false;
+        for (int q : c.gate(i).qubits) {
+            if (last_writer[static_cast<std::size_t>(q)] >= 0 &&
+                last_was_bad[static_cast<std::size_t>(q)])
+                fed_by_bad = true;
+        }
+        const bool in_sel = sel.count(i) > 0;
+        if (in_sel && fed_by_bad)
+            return false; // path selection -> outside -> selection
+        tainted[i] = !in_sel &&
+            (fed_by_bad || [&] {
+                 for (int q : c.gate(i).qubits) {
+                     const int w =
+                         last_writer[static_cast<std::size_t>(q)];
+                     if (w >= 0 && sel.count(static_cast<std::size_t>(w)))
+                         return true;
+                 }
+                 return false;
+             }());
+        for (int q : c.gate(i).qubits) {
+            last_writer[static_cast<std::size_t>(q)] =
+                static_cast<int>(i);
+            last_was_bad[static_cast<std::size_t>(q)] = tainted[i];
+        }
+    }
+    return true;
+}
+
+TEST(GrowConvex, SingleGateSeed)
+{
+    ir::Circuit c(2);
+    c.h(0);
+    const dag::SubcircuitSelection s = dag::growConvex(c, 0, 3, 10);
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.indices[0], 0u);
+    EXPECT_EQ(s.qubits, std::vector<int>{0});
+}
+
+TEST(GrowConvex, RespectsQubitBudget)
+{
+    ir::Circuit c(4);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.cx(2, 3);
+    const dag::SubcircuitSelection s = dag::growConvex(c, 0, 2, 10);
+    EXPECT_LE(s.qubits.size(), 2u);
+    EXPECT_EQ(s.size(), 1u); // cx(1,2) would exceed the budget
+}
+
+TEST(GrowConvex, RespectsGateBudget)
+{
+    ir::Circuit c(1);
+    for (int i = 0; i < 10; ++i)
+        c.t(0);
+    const dag::SubcircuitSelection s = dag::growConvex(c, 2, 1, 4);
+    EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(GrowConvex, DirtyWireBlocksReentry)
+{
+    ir::Circuit c(3);
+    c.cx(0, 1); // 0: seed
+    c.cx(1, 2); // 1: exceeds 2-qubit budget -> dirties wires 1, 2
+    c.h(1);     // 2: on dirty wire, must not join
+    const dag::SubcircuitSelection s = dag::growConvex(c, 0, 2, 10);
+    EXPECT_EQ(s.size(), 1u);
+}
+
+class RandomConvexProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomConvexProperty, SelectionsAreConvexAndSplicable)
+{
+    support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 3);
+    const ir::Circuit c =
+        testutil::randomNativeCircuit(ir::GateSetKind::Nam, 5, 40, rng);
+    const dag::SubcircuitSelection sel = dag::randomConvex(c, rng, 3, 12);
+    ASSERT_FALSE(sel.empty());
+    EXPECT_TRUE(isConvex(c, sel.indices));
+    EXPECT_LE(sel.qubits.size(), 3u);
+
+    // Splicing the extracted subcircuit back unchanged must preserve
+    // the whole circuit's semantics (the round-trip property).
+    const ir::Circuit sub = dag::extract(c, sel);
+    const ir::Circuit back = dag::splice(c, sel, sub);
+    EXPECT_EQ(back.size(), c.size());
+    EXPECT_LT(sim::circuitDistance(c, back), testutil::kExact);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomConvexProperty,
+                         ::testing::Range(0, 20));
+
+TEST(Extract, RemapsToLocalQubits)
+{
+    ir::Circuit c(5);
+    c.cx(3, 1); // uses qubits {1, 3} -> local {0, 1}
+    const dag::SubcircuitSelection sel = dag::growConvex(c, 0, 3, 4);
+    const ir::Circuit sub = dag::extract(c, sel);
+    EXPECT_EQ(sub.numQubits(), 2);
+    EXPECT_EQ(sub.gate(0).qubits[0], 1); // qubit 3 -> rank 1
+    EXPECT_EQ(sub.gate(0).qubits[1], 0); // qubit 1 -> rank 0
+}
+
+TEST(Splice, ReplacementWithFewerGates)
+{
+    ir::Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    c.h(1);
+    dag::SubcircuitSelection sel;
+    sel.indices = {1, 2};
+    sel.qubits = {0, 1};
+    const ir::Circuit out = dag::splice(c, sel, ir::Circuit(2));
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact);
+}
+
+TEST(Splice, EquivalentReplacementPreservesSemantics)
+{
+    support::Rng rng(31);
+    const ir::Circuit c = testutil::randomNativeCircuit(
+        ir::GateSetKind::IbmEagle, 4, 30, rng);
+    const dag::SubcircuitSelection sel = dag::randomConvex(c, rng, 3, 10);
+    ir::Circuit sub = dag::extract(c, sel);
+    // Append a canceling pair: semantically identical subcircuit.
+    if (sub.numQubits() >= 2) {
+        sub.cx(0, 1);
+        sub.cx(0, 1);
+    } else {
+        sub.x(0);
+        sub.x(0);
+    }
+    const ir::Circuit out = dag::splice(c, sel, sub);
+    EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact);
+}
+
+class PartitionProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PartitionProperty, CoversEveryGateExactlyOnce)
+{
+    support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+    const ir::Circuit c = testutil::randomNativeCircuit(
+        ir::GateSetKind::Ibmq20, 6, 50, rng);
+    const auto blocks = dag::partitionConvex(c, 3, 16);
+    std::vector<int> seen(c.size(), 0);
+    for (const auto &b : blocks) {
+        EXPECT_TRUE(isConvex(c, b.indices));
+        EXPECT_LE(b.qubits.size(), 3u);
+        for (std::size_t idx : b.indices)
+            ++seen[idx];
+    }
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_EQ(seen[i], 1) << "gate " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionProperty,
+                         ::testing::Range(0, 10));
+
+TEST(Partition, RebuildAtSeedsPreservesSemantics)
+{
+    // Replacing every block by its own extraction, emitted at the
+    // block seed, must reproduce the circuit semantics — the property
+    // the partition+resynthesize baseline depends on.
+    support::Rng rng(77);
+    const ir::Circuit c =
+        testutil::randomNativeCircuit(ir::GateSetKind::Nam, 5, 40, rng);
+    const auto blocks = dag::partitionConvex(c, 3, 12);
+
+    std::vector<int> block_at_seed(c.size(), -1);
+    for (std::size_t b = 0; b < blocks.size(); ++b)
+        block_at_seed[blocks[b].indices.front()] = static_cast<int>(b);
+
+    ir::Circuit out(c.numQubits());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        const int b = block_at_seed[i];
+        if (b < 0)
+            continue;
+        const auto &sel = blocks[static_cast<std::size_t>(b)];
+        const ir::Circuit sub = dag::extract(c, sel);
+        for (const ir::Gate &g : sub.gates()) {
+            ir::Gate ng = g;
+            for (auto &q : ng.qubits)
+                q = sel.qubits[static_cast<std::size_t>(q)];
+            out.add(std::move(ng));
+        }
+    }
+    ASSERT_EQ(out.size(), c.size());
+    EXPECT_LT(sim::circuitDistance(c, out), testutil::kExact);
+}
+
+} // namespace
+} // namespace guoq

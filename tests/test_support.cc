@@ -1,0 +1,179 @@
+/** @file Tests for the support utilities (rng, stats, table, options). */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/options.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace guoq {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    support::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    support::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, IndexStaysInRange)
+{
+    support::Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.index(7), 7u);
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    support::Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        const double v = rng.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, UniformIsRoughlyUniform)
+{
+    support::Rng rng(5);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    support::Rng rng(6);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.2) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.2, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    support::Rng a(7);
+    support::Rng child = a.fork();
+    EXPECT_NE(a(), child());
+}
+
+TEST(Stats, SummaryOfConstantSample)
+{
+    const support::Summary s = support::summarize({2.0, 2.0, 2.0});
+    EXPECT_EQ(s.n, 3u);
+    EXPECT_NEAR(s.mean, 2.0, 1e-12);
+    EXPECT_NEAR(s.stddev, 0.0, 1e-12);
+    EXPECT_NEAR(s.ci95, 0.0, 1e-12);
+    EXPECT_EQ(s.minv, 2.0);
+    EXPECT_EQ(s.maxv, 2.0);
+}
+
+TEST(Stats, SummaryMeanAndSpread)
+{
+    const support::Summary s = support::summarize({1.0, 2.0, 3.0, 4.0});
+    EXPECT_NEAR(s.mean, 2.5, 1e-12);
+    EXPECT_GT(s.stddev, 1.0);
+    EXPECT_GT(s.ci95, 0.0);
+    EXPECT_EQ(s.minv, 1.0);
+    EXPECT_EQ(s.maxv, 4.0);
+}
+
+TEST(Stats, CompareMeansThreeWay)
+{
+    using support::CompareOutcome;
+    EXPECT_EQ(support::compareMeans(0.5, 0.4), CompareOutcome::Better);
+    EXPECT_EQ(support::compareMeans(0.4, 0.5), CompareOutcome::Worse);
+    EXPECT_EQ(support::compareMeans(0.5, 0.5), CompareOutcome::Match);
+}
+
+TEST(Stats, CompareCountsAccumulate)
+{
+    support::CompareCounts c;
+    c.add(support::CompareOutcome::Better);
+    c.add(support::CompareOutcome::Better);
+    c.add(support::CompareOutcome::Worse);
+    c.add(support::CompareOutcome::Match);
+    EXPECT_EQ(c.better, 2);
+    EXPECT_EQ(c.match, 1);
+    EXPECT_EQ(c.worse, 1);
+    EXPECT_EQ(c.total(), 4);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    support::TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(support::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(support::fmtPct(0.283, 1), "28.3%");
+}
+
+TEST(Options, EnvFallbacks)
+{
+    ::unsetenv("GUOQ_TEST_OPTION");
+    EXPECT_EQ(support::envDouble("GUOQ_TEST_OPTION", 2.5), 2.5);
+    EXPECT_EQ(support::envInt("GUOQ_TEST_OPTION", 7), 7);
+    ::setenv("GUOQ_TEST_OPTION", "3.5", 1);
+    EXPECT_EQ(support::envDouble("GUOQ_TEST_OPTION", 2.5), 3.5);
+    ::setenv("GUOQ_TEST_OPTION", "junk", 1);
+    EXPECT_EQ(support::envInt("GUOQ_TEST_OPTION", 7), 7);
+    ::unsetenv("GUOQ_TEST_OPTION");
+}
+
+TEST(Timer, MeasuresElapsedTime)
+{
+    support::Timer t;
+    EXPECT_GE(t.seconds(), 0.0);
+    EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(Deadline, UnlimitedNeverExpires)
+{
+    const support::Deadline d;
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remaining(), 1e12);
+}
+
+TEST(Deadline, ExpiresAfterDuration)
+{
+    const support::Deadline d = support::Deadline::in(0.0);
+    EXPECT_TRUE(d.expired());
+    EXPECT_EQ(d.remaining(), 0.0);
+}
+
+TEST(Deadline, SliceNeverExceedsParent)
+{
+    const support::Deadline d = support::Deadline::in(0.05);
+    const support::Deadline s = d.slice(100.0);
+    EXPECT_LE(s.remaining(), 0.06);
+}
+
+} // namespace
+} // namespace guoq

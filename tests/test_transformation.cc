@@ -1,0 +1,129 @@
+/** @file Tests for the τ_ε transformation abstraction (Def. 4.1). */
+
+#include <gtest/gtest.h>
+
+#include "core/transformation.h"
+#include "rewrite/rule.h"
+#include "sim/unitary_sim.h"
+#include "tests/test_util.h"
+
+namespace guoq {
+namespace {
+
+const rewrite::RewriteRule *
+findRule(ir::GateSetKind set, const std::string &name)
+{
+    for (const rewrite::RewriteRule &r : rewrite::rulesFor(set))
+        if (r.name() == name)
+            return &r;
+    return nullptr;
+}
+
+TEST(Transformation, RuleWrapperAppliesAndIsExact)
+{
+    const rewrite::RewriteRule *rule =
+        findRule(ir::GateSetKind::Nam, "h_h_cancel");
+    ASSERT_NE(rule, nullptr);
+    const core::Transformation tau = core::Transformation::fromRule(rule);
+    EXPECT_EQ(tau.epsilon(), 0.0);
+    EXPECT_EQ(tau.kind(), core::TransformKind::RewriteRule);
+
+    ir::Circuit c(1);
+    c.h(0);
+    c.h(0);
+    support::Rng rng(1);
+    const auto out = tau.apply(c, rng);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->circuit.size(), 0u);
+    EXPECT_EQ(out->epsilonSpent, 0.0);
+}
+
+TEST(Transformation, RuleWrapperNoopWhenNoMatch)
+{
+    const rewrite::RewriteRule *rule =
+        findRule(ir::GateSetKind::Nam, "h_h_cancel");
+    ir::Circuit c(1);
+    c.x(0);
+    support::Rng rng(2);
+    EXPECT_FALSE(core::Transformation::fromRule(rule).apply(c, rng)
+                     .has_value());
+}
+
+TEST(Transformation, FusionShrinksRuns)
+{
+    const core::Transformation tau =
+        core::Transformation::fusion(ir::GateSetKind::IbmEagle);
+    EXPECT_EQ(tau.kind(), core::TransformKind::Fusion);
+    ir::Circuit c(1);
+    c.rz(0.2, 0);
+    c.rz(0.3, 0);
+    c.rz(0.4, 0);
+    support::Rng rng(3);
+    const auto out = tau.apply(c, rng);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_LT(out->circuit.size(), c.size());
+    EXPECT_LT(sim::circuitDistance(c, out->circuit), testutil::kExact);
+}
+
+TEST(Transformation, FusionNoopWhenNothingToFuse)
+{
+    const core::Transformation tau =
+        core::Transformation::fusion(ir::GateSetKind::IbmEagle);
+    ir::Circuit c(2);
+    c.rz(0.2, 0);
+    c.cx(0, 1);
+    c.rz(0.3, 0);
+    support::Rng rng(4);
+    EXPECT_FALSE(tau.apply(c, rng).has_value());
+}
+
+TEST(Transformation, ResynthesisPreservesSemanticsWithinEpsilon)
+{
+    const double eps = 1e-6;
+    const core::Transformation tau = core::Transformation::resynthesis(
+        ir::GateSetKind::Nam, eps, 10.0, 3);
+    EXPECT_EQ(tau.kind(), core::TransformKind::Resynthesis);
+    EXPECT_EQ(tau.epsilon(), eps);
+
+    ir::Circuit c(2);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    c.h(0);
+    c.h(0);
+    support::Rng rng(5);
+    // Resynthesis picks a random subcircuit: try until it fires.
+    for (int attempt = 0; attempt < 20; ++attempt) {
+        const auto out = tau.apply(c, rng);
+        if (!out)
+            continue;
+        EXPECT_LE(out->epsilonSpent, eps);
+        EXPECT_LT(sim::circuitDistance(c, out->circuit), 2 * eps);
+        return;
+    }
+    FAIL() << "resynthesis never fired on a fully redundant circuit";
+}
+
+TEST(Transformation, ResynthesisNoopOnEmptyCircuit)
+{
+    const core::Transformation tau = core::Transformation::resynthesis(
+        ir::GateSetKind::Nam, 1e-6, 1.0, 3);
+    support::Rng rng(6);
+    EXPECT_FALSE(tau.apply(ir::Circuit(2), rng).has_value());
+}
+
+TEST(Transformation, NamesAreDescriptive)
+{
+    const rewrite::RewriteRule *rule =
+        findRule(ir::GateSetKind::Nam, "rz_merge");
+    EXPECT_EQ(core::Transformation::fromRule(rule).name(),
+              "rule:rz_merge");
+    EXPECT_EQ(core::Transformation::fusion(ir::GateSetKind::Nam).name(),
+              "fusion:1q");
+    EXPECT_EQ(core::Transformation::resynthesis(ir::GateSetKind::Nam,
+                                                1e-6, 1.0, 3)
+                  .name(),
+              "resynth:nam");
+}
+
+} // namespace
+} // namespace guoq

@@ -1,0 +1,137 @@
+/** @file Tests for the Hilbert–Schmidt distance (paper Def. 3.2/3.3). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "linalg/unitary.h"
+#include "ir/gate_kind.h"
+#include "support/rng.h"
+
+namespace guoq {
+namespace {
+
+using linalg::Complex;
+using linalg::ComplexMatrix;
+
+TEST(HsDistance, ZeroForEqualUnitaries)
+{
+    const ComplexMatrix i = ComplexMatrix::identity(4);
+    EXPECT_NEAR(linalg::hsDistance(i, i), 0, 1e-9);
+}
+
+TEST(HsDistance, InsensitiveToGlobalPhase)
+{
+    const ComplexMatrix u = ir::gateMatrix(ir::GateKind::H, {});
+    const ComplexMatrix v = u.scaled(std::polar(1.0, 0.7));
+    EXPECT_NEAR(linalg::hsDistance(u, v), 0, 1e-7);
+}
+
+TEST(HsDistance, MaximalForOrthogonalUnitaries)
+{
+    // Tr(Z† X) = 0, so Δ(Z, X) = 1.
+    EXPECT_NEAR(linalg::hsDistance(ir::gateMatrix(ir::GateKind::Z, {}),
+                                   ir::gateMatrix(ir::GateKind::X, {})),
+                1.0, 1e-12);
+}
+
+TEST(HsDistance, SymmetricInArguments)
+{
+    const ComplexMatrix u = ir::gateMatrix(ir::GateKind::T, {});
+    const ComplexMatrix v = ir::gateMatrix(ir::GateKind::H, {});
+    EXPECT_NEAR(linalg::hsDistance(u, v), linalg::hsDistance(v, u), 1e-14);
+}
+
+TEST(HsDistance, SmallRotationGivesSmallDistance)
+{
+    const ComplexMatrix i = ComplexMatrix::identity(2);
+    const ComplexMatrix r = ir::gateMatrix(ir::GateKind::Rz, {1e-4});
+    const double d = linalg::hsDistance(i, r);
+    EXPECT_GT(d, 0);
+    EXPECT_LT(d, 1e-3);
+}
+
+TEST(HsDistance, MonotoneInRotationAngle)
+{
+    const ComplexMatrix i = ComplexMatrix::identity(2);
+    double prev = 0;
+    for (double theta : {0.1, 0.3, 0.7, 1.5, 3.0}) {
+        const double d =
+            linalg::hsDistance(i, ir::gateMatrix(ir::GateKind::Rz, {theta}));
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(ApproxEquivalent, RespectsThreshold)
+{
+    const ComplexMatrix i = ComplexMatrix::identity(2);
+    const ComplexMatrix r = ir::gateMatrix(ir::GateKind::Rz, {0.01});
+    const double d = linalg::hsDistance(i, r);
+    EXPECT_TRUE(linalg::approxEquivalent(i, r, d * 1.01));
+    EXPECT_FALSE(linalg::approxEquivalent(i, r, d * 0.99));
+}
+
+TEST(EqualUpToGlobalPhase, AcceptsPhaseMultiples)
+{
+    const ComplexMatrix u = ir::gateMatrix(ir::GateKind::T, {});
+    EXPECT_TRUE(linalg::equalUpToGlobalPhase(
+        u, u.scaled(std::polar(1.0, -1.3))));
+}
+
+TEST(EqualUpToGlobalPhase, RejectsDifferentUnitaries)
+{
+    EXPECT_FALSE(linalg::equalUpToGlobalPhase(
+        ir::gateMatrix(ir::GateKind::T, {}),
+        ir::gateMatrix(ir::GateKind::S, {})));
+}
+
+TEST(EqualUpToGlobalPhase, RejectsNonUnitScaling)
+{
+    const ComplexMatrix u = ir::gateMatrix(ir::GateKind::H, {});
+    EXPECT_FALSE(linalg::equalUpToGlobalPhase(u, u.scaled(1.1)));
+}
+
+TEST(HsCost, ZeroIffDistanceZero)
+{
+    const ComplexMatrix u = ir::gateMatrix(ir::GateKind::H, {});
+    EXPECT_NEAR(linalg::hsCost(u, u), 0, 1e-12);
+    EXPECT_GT(linalg::hsCost(u, ir::gateMatrix(ir::GateKind::X, {})), 0);
+}
+
+TEST(HsCost, ThresholdGuaranteesDistance)
+{
+    // If cost ≤ hsCostThresholdForDistance(ε) then Δ ≤ ε: check the
+    // algebra on a sweep of rotations.
+    const ComplexMatrix i = ComplexMatrix::identity(2);
+    for (double theta : {1e-4, 1e-3, 1e-2, 0.1}) {
+        const ComplexMatrix r =
+            ir::gateMatrix(ir::GateKind::Rz, {theta});
+        const double cost = linalg::hsCost(i, r);
+        const double dist = linalg::hsDistance(i, r);
+        // Invert: eps for which this cost sits exactly at threshold.
+        const double eps = std::sqrt(2.0 * cost);
+        EXPECT_LE(dist, eps + 1e-12);
+    }
+}
+
+TEST(HsDistance, TriangleLikeAdditivity)
+{
+    // Δ(U, W) ≤ Δ(U, V) + Δ(V, W) — the inequality behind Thm. 4.2.
+    support::Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        const ComplexMatrix u =
+            ir::gateMatrix(ir::GateKind::Rz, {rng.uniform(-3, 3)});
+        const ComplexMatrix v =
+            ir::gateMatrix(ir::GateKind::Rz, {rng.uniform(-3, 3)});
+        const ComplexMatrix w =
+            ir::gateMatrix(ir::GateKind::Rx, {rng.uniform(-3, 3)});
+        EXPECT_LE(linalg::hsDistance(u, w),
+                  linalg::hsDistance(u, v) + linalg::hsDistance(v, w) +
+                      1e-12);
+    }
+}
+
+} // namespace
+} // namespace guoq

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the test suite: exactness thresholds, random
+ * native-circuit generation, and basis-index helpers.
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.h"
+#include "ir/gate_set.h"
+#include "support/rng.h"
+
+namespace guoq {
+namespace testutil {
+
+/**
+ * Exactness threshold for the Hilbert–Schmidt distance: machine
+ * epsilon under Δ's square root amplifies to ~1e-8, so "exactly equal"
+ * circuits measure up to ~1e-7 on ≤10-qubit unitaries.
+ */
+constexpr double kExact = 1e-6;
+
+/** A random circuit drawn from @p set's native gates. */
+inline ir::Circuit
+randomNativeCircuit(ir::GateSetKind set, int num_qubits, int num_gates,
+                    support::Rng &rng)
+{
+    const std::vector<ir::GateKind> &kinds = ir::nativeGates(set);
+    ir::Circuit c(num_qubits);
+    for (int i = 0; i < num_gates; ++i) {
+        const ir::GateKind kind = kinds[rng.index(kinds.size())];
+        const int arity = ir::gateArity(kind);
+        if (arity > num_qubits) {
+            --i;
+            continue;
+        }
+        std::vector<int> qubits;
+        while (static_cast<int>(qubits.size()) < arity) {
+            const int q = static_cast<int>(
+                rng.index(static_cast<std::size_t>(num_qubits)));
+            bool dup = false;
+            for (int used : qubits)
+                dup |= used == q;
+            if (!dup)
+                qubits.push_back(q);
+        }
+        std::vector<double> params;
+        for (int p = 0; p < ir::gateParamCount(kind); ++p)
+            params.push_back(rng.uniform(-M_PI, M_PI));
+        c.add(kind, std::move(qubits), std::move(params));
+    }
+    return c;
+}
+
+/**
+ * Basis-state index for per-qubit bit values (qubit 0 = MSB, matching
+ * the simulator convention).
+ */
+inline std::size_t
+basisIndex(const std::vector<int> &bits)
+{
+    std::size_t idx = 0;
+    for (int b : bits)
+        idx = (idx << 1) | static_cast<std::size_t>(b & 1);
+    return idx;
+}
+
+} // namespace testutil
+} // namespace guoq

@@ -1,0 +1,312 @@
+/** @file Functional tests for the benchmark-circuit generators. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/statevector.h"
+#include "sim/unitary_sim.h"
+#include "tests/test_util.h"
+#include "transpile/decompose.h"
+#include "workloads/simulation.h"
+#include "workloads/standard.h"
+#include "workloads/suite.h"
+#include "workloads/variational.h"
+
+namespace guoq {
+namespace {
+
+TEST(Workloads, GhzPreparesGhzState)
+{
+    const sim::StateVector s = sim::runCircuit(workloads::ghz(5));
+    EXPECT_NEAR(s.probability(0), 0.5, 1e-10);
+    EXPECT_NEAR(s.probability(31), 0.5, 1e-10);
+}
+
+TEST(Workloads, QftTimesInverseIsIdentity)
+{
+    ir::Circuit c = workloads::qft(4);
+    c.append(workloads::inverseQft(4));
+    EXPECT_LT(sim::circuitDistance(c, ir::Circuit(4)), testutil::kExact);
+}
+
+TEST(Workloads, QftOfZeroIsUniform)
+{
+    const sim::StateVector s = sim::runCircuit(workloads::qft(4));
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_NEAR(s.probability(i), 1.0 / 16, 1e-10);
+}
+
+TEST(Workloads, QftOnOneQubitIsHadamard)
+{
+    ir::Circuit h(1);
+    h.h(0);
+    EXPECT_LT(sim::circuitDistance(workloads::qft(1), h),
+              testutil::kExact);
+}
+
+TEST(Workloads, BarencoTofEqualsMultiControlX)
+{
+    // 3 controls on 5 qubits: compare against the brute-force truth
+    // table (ancilla returns to zero).
+    const ir::Circuit c = workloads::barencoTof(3);
+    ASSERT_EQ(c.numQubits(), 5);
+    for (int a = 0; a < 8; ++a) {
+        ir::Circuit prep(5);
+        for (int bit = 0; bit < 3; ++bit)
+            if (a & (1 << bit))
+                prep.x(bit);
+        prep.append(c);
+        const sim::StateVector s = sim::runCircuit(prep);
+        // Expected: target (qubit 3) flips iff all controls set.
+        std::vector<int> bits(5, 0);
+        for (int bit = 0; bit < 3; ++bit)
+            bits[static_cast<std::size_t>(bit)] = (a >> bit) & 1;
+        bits[3] = (a == 7) ? 1 : 0;
+        EXPECT_NEAR(s.probability(testutil::basisIndex(bits)), 1.0, 1e-9)
+            << "input " << a;
+    }
+}
+
+TEST(Workloads, CuccaroAdderAddsExhaustively)
+{
+    const int n = 2;
+    const ir::Circuit adder = workloads::cuccaroAdder(n);
+    ASSERT_EQ(adder.numQubits(), 2 * n + 2);
+    for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 4; ++b) {
+            ir::Circuit prep(2 * n + 2);
+            for (int bit = 0; bit < n; ++bit) {
+                if (a & (1 << bit))
+                    prep.x(1 + bit);
+                if (b & (1 << bit))
+                    prep.x(1 + n + bit);
+            }
+            prep.append(adder);
+            const sim::StateVector s = sim::runCircuit(prep);
+            const int sum = a + b;
+            std::vector<int> bits(2 * n + 2, 0);
+            for (int bit = 0; bit < n; ++bit) {
+                bits[static_cast<std::size_t>(1 + bit)] = (a >> bit) & 1;
+                bits[static_cast<std::size_t>(1 + n + bit)] =
+                    (sum >> bit) & 1;
+            }
+            bits[2 * n + 1] = (sum >> n) & 1; // carry out
+            EXPECT_NEAR(s.probability(testutil::basisIndex(bits)), 1.0,
+                        1e-9)
+                << a << "+" << b;
+        }
+    }
+}
+
+TEST(Workloads, GroverAmplifiesAllOnes)
+{
+    const ir::Circuit c = workloads::grover(3);
+    const sim::StateVector s = sim::runCircuit(c);
+    // Sum probability over all states whose work qubits (the 3 MSBs of
+    // the 4-qubit register) read 111.
+    double p_target = 0;
+    for (std::size_t i = 0; i < s.dim(); ++i)
+        if ((i >> 1) == 7)
+            p_target += s.probability(i);
+    EXPECT_GT(p_target, 0.9);
+}
+
+TEST(Workloads, QpeIsDeterministicForExactPhase)
+{
+    // T's phase π/4 = 2π·(1/8) is exactly representable with 3
+    // counting qubits: the outcome is a single basis state.
+    const ir::Circuit c = workloads::qpe(3);
+    const sim::StateVector s = sim::runCircuit(c);
+    double max_p = 0;
+    std::size_t arg = 0;
+    for (std::size_t i = 0; i < s.dim(); ++i) {
+        if (s.probability(i) > max_p) {
+            max_p = s.probability(i);
+            arg = i;
+        }
+    }
+    EXPECT_GT(max_p, 0.99);
+    EXPECT_EQ(arg & 1u, 1u); // eigenstate qubit (LSB) stays |1>
+}
+
+TEST(Workloads, BernsteinVaziraniRecoversSecret)
+{
+    const std::uint64_t secret = 0b1011;
+    const ir::Circuit c = workloads::bernsteinVazirani(4, secret);
+    const sim::StateVector s = sim::runCircuit(c);
+    // Output register (qubits 0..3) should read the secret with
+    // certainty; the ancilla (qubit 4) returns to |0> after uncompute.
+    std::vector<int> bits(5, 0);
+    for (int q = 0; q < 4; ++q)
+        bits[static_cast<std::size_t>(q)] =
+            (secret >> q) & 1 ? 1 : 0;
+    EXPECT_NEAR(s.probability(testutil::basisIndex(bits)), 1.0, 1e-9);
+}
+
+TEST(Workloads, DeutschJozsaBalancedNeverReturnsZero)
+{
+    const ir::Circuit c = workloads::deutschJozsa(4, 0b0110);
+    const sim::StateVector s = sim::runCircuit(c);
+    // For a balanced oracle the all-zero input register has zero
+    // amplitude (sum over both ancilla values).
+    double p_zero = 0;
+    for (std::size_t i = 0; i < s.dim(); ++i)
+        if ((i >> 1) == 0)
+            p_zero += s.probability(i);
+    EXPECT_NEAR(p_zero, 0.0, 1e-9);
+}
+
+TEST(Workloads, HiddenShiftRecoversShiftDeterministically)
+{
+    const std::uint64_t shift = 0b1010;
+    const sim::StateVector s =
+        sim::runCircuit(workloads::hiddenShift(4, shift));
+    std::vector<int> bits(4, 0);
+    for (int q = 0; q < 4; ++q)
+        bits[static_cast<std::size_t>(q)] = (shift >> q) & 1 ? 1 : 0;
+    EXPECT_NEAR(s.probability(testutil::basisIndex(bits)), 1.0, 1e-9);
+}
+
+TEST(Workloads, HiddenShiftZeroShiftReadsZero)
+{
+    const sim::StateVector s =
+        sim::runCircuit(workloads::hiddenShift(6, 0));
+    EXPECT_NEAR(s.probability(0), 1.0, 1e-9);
+}
+
+TEST(Workloads, DraperAdderAddsConstantExhaustively)
+{
+    const int n = 3;
+    for (std::uint64_t a = 0; a < 8; a += 3) {
+        const ir::Circuit adder = workloads::draperAdder(n, a);
+        for (std::uint64_t b = 0; b < 8; ++b) {
+            ir::Circuit prep(n);
+            for (int q = 0; q < n; ++q)
+                if (b & (std::uint64_t{1} << (n - 1 - q)))
+                    prep.x(q); // qubit 0 = MSB of b
+            prep.append(adder);
+            const sim::StateVector s = sim::runCircuit(prep);
+            EXPECT_NEAR(s.probability((a + b) % 8), 1.0, 1e-9)
+                << a << "+" << b;
+        }
+    }
+}
+
+TEST(Workloads, VariationalGeneratorsAreSeedDeterministic)
+{
+    const ir::Circuit a = workloads::qaoaMaxCut(6, 2, 42);
+    const ir::Circuit b = workloads::qaoaMaxCut(6, 2, 42);
+    const ir::Circuit c = workloads::qaoaMaxCut(6, 2, 43);
+    EXPECT_EQ(a.toString(), b.toString());
+    EXPECT_NE(a.toString(), c.toString());
+}
+
+TEST(Workloads, QaoaShape)
+{
+    const ir::Circuit c = workloads::qaoaMaxCut(6, 2, 1);
+    EXPECT_EQ(c.numQubits(), 6);
+    EXPECT_GT(c.twoQubitGateCount(), 0u);
+    EXPECT_EQ(c.countOf(ir::GateKind::H), 6u);
+}
+
+TEST(Workloads, VqeUsesLinearLadder)
+{
+    const ir::Circuit c = workloads::vqeAnsatz(5, 2, 9);
+    EXPECT_EQ(c.twoQubitGateCount(), 8u); // (n-1) per layer
+}
+
+TEST(Workloads, TrotterIsingShape)
+{
+    const ir::Circuit c = workloads::trotterIsing(6, 3);
+    EXPECT_EQ(c.twoQubitGateCount(), 2u * 5u * 3u);
+    EXPECT_EQ(c.countOf(ir::GateKind::Rx), 6u * 3u);
+}
+
+TEST(Workloads, TrotterHeisenbergIsUnitaryCircuit)
+{
+    const ir::Circuit c = workloads::trotterHeisenberg(4, 1);
+    EXPECT_TRUE(sim::circuitUnitary(c).isUnitary(1e-8));
+}
+
+TEST(Workloads, IsingPiOver4IsCliffordTRepresentable)
+{
+    const ir::Circuit c = workloads::trotterIsingPiOver4(5, 2);
+    for (const ir::Gate &g : c.gates())
+        for (double p : g.params)
+            EXPECT_TRUE(transpile::isPiOver4Multiple(p));
+}
+
+TEST(Suite, HasDiverseFamilies)
+{
+    const auto suite = workloads::standardSuite();
+    EXPECT_GE(suite.size(), 35u);
+    std::set<std::string> families;
+    for (const auto &b : suite)
+        families.insert(b.family);
+    EXPECT_GE(families.size(), 12u);
+}
+
+TEST(Suite, LoweredSuitesAreNative)
+{
+    for (ir::GateSetKind set : ir::allGateSets()) {
+        const auto suite = workloads::suiteFor(set);
+        EXPECT_GE(suite.size(), 10u) << ir::gateSetName(set);
+        for (const auto &b : suite)
+            for (const ir::Gate &g : b.circuit.gates())
+                ASSERT_TRUE(ir::isNative(set, g.kind))
+                    << b.name << " in " << ir::gateSetName(set);
+    }
+}
+
+TEST(Suite, CliffordTSuiteExcludesContinuousFamilies)
+{
+    const auto suite = workloads::suiteFor(ir::GateSetKind::CliffordT);
+    for (const auto &b : suite) {
+        EXPECT_NE(b.family, "qft");
+        EXPECT_NE(b.family, "qaoa");
+        EXPECT_NE(b.family, "vqe");
+    }
+}
+
+TEST(Suite, QuickSuiteTruncatesWithDiversity)
+{
+    const auto quick = workloads::quickSuiteFor(ir::GateSetKind::Nam, 8);
+    EXPECT_EQ(quick.size(), 8u);
+    std::set<std::string> families;
+    for (const auto &b : quick)
+        families.insert(b.family);
+    EXPECT_GE(families.size(), 6u);
+}
+
+TEST(Suite, QuickSuiteNeverDuplicatesBenchmarks)
+{
+    // Regression: the family round-robin must advance within a family
+    // across rounds instead of re-selecting its first entry.
+    for (int cap : {5, 12, 25, 100}) {
+        const auto quick =
+            workloads::quickSuiteFor(ir::GateSetKind::CliffordT, cap);
+        std::set<std::string> names;
+        for (const auto &b : quick)
+            EXPECT_TRUE(names.insert(b.name).second)
+                << "duplicate " << b.name << " at cap " << cap;
+    }
+}
+
+TEST(Workloads, MultiControlXUncomputesAncillas)
+{
+    ir::Circuit c(7); // 4 controls, target 4, ancillas 5..6
+    std::vector<int> controls{0, 1, 2, 3};
+    workloads::appendMultiControlX(&c, controls, 4, 5);
+    // Set all controls: target flips, ancillas end clean.
+    ir::Circuit prep(7);
+    for (int q = 0; q < 4; ++q)
+        prep.x(q);
+    prep.append(c);
+    const sim::StateVector s = sim::runCircuit(prep);
+    std::vector<int> bits{1, 1, 1, 1, 1, 0, 0};
+    EXPECT_NEAR(s.probability(testutil::basisIndex(bits)), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace guoq
