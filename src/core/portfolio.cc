@@ -1,0 +1,221 @@
+#include "core/portfolio.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/rng.h"
+#include "support/timer.h"
+
+namespace guoq {
+namespace core {
+
+namespace {
+
+/** Mutex-guarded global best shared by all workers. */
+struct SharedBest
+{
+    std::mutex mutex;
+    ir::Circuit circuit;
+    double cost = 0;
+    double error = 0;
+    int worker = 0;
+
+    /** Publish a candidate; on cost ties the lower accumulated ε wins
+     *  (same rule the workers use locally). */
+    void
+    offer(const ir::Circuit &c, double cost_c, double error_c, int worker_c)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (cost_c < cost || (cost_c == cost && error_c < error)) {
+            circuit = c;
+            cost = cost_c;
+            error = error_c;
+            worker = worker_c;
+        }
+    }
+
+    /**
+     * If the global best is strictly better than @p cost_c, copy it
+     * into the out-params and return true (the caller adopts it).
+     */
+    bool
+    adopt(double cost_c, ir::Circuit &c, double &error_c)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (cost >= cost_c)
+            return false;
+        c = circuit;
+        error_c = error;
+        return true;
+    }
+};
+
+void
+mergeStats(GuoqStats &into, const GuoqStats &from)
+{
+    into.iterations += from.iterations;
+    into.accepted += from.accepted;
+    into.uphillAccepted += from.uphillAccepted;
+    into.rejected += from.rejected;
+    into.noops += from.noops;
+    into.budgetSkips += from.budgetSkips;
+    into.resynthCalls += from.resynthCalls;
+    into.resynthAccepted += from.resynthAccepted;
+    into.rewriteApplications += from.rewriteApplications;
+    into.seconds += from.seconds;
+}
+
+/**
+ * One worker: run optimize() in slices against the shared deadline,
+ * exchanging with the global best between slices. Each slice continues
+ * from the worker's current circuit with the unspent ε budget, so the
+ * accumulated error of whatever the worker holds never exceeds
+ * cfg.base.epsilonTotal (Thm. 4.2 additivity).
+ */
+void
+runWorker(int worker, const ir::Circuit &input, ir::GateSetKind set,
+          const PortfolioConfig &cfg, const support::Deadline &deadline,
+          const CostFunction &cost, SharedBest &shared,
+          PortfolioWorkerReport &report)
+{
+    support::Rng seeder(portfolioWorkerSeed(cfg.base.seed, worker));
+    report.worker = worker;
+    report.seed = portfolioWorkerSeed(cfg.base.seed, worker);
+
+    ir::Circuit curr = input;
+    double error_curr = 0;
+
+    // Iteration-capped runs execute as one slice so that a fixed
+    // (seed, maxIterations) pair walks one reproducible trajectory —
+    // provided timeBudgetSeconds is generous enough that the deadline
+    // doesn't truncate the run first.
+    const bool sliced = cfg.base.maxIterations < 0;
+    bool ran_once = false;
+    while (!ran_once || (sliced && !deadline.expired())) {
+        GuoqConfig slice = cfg.base;
+        // The first slice uses the worker seed itself (so a 1-thread
+        // portfolio reproduces core::optimize() exactly); later slices
+        // draw a fresh stream, otherwise each slice would replay the
+        // same trajectory.
+        const bool first_slice = !ran_once;
+        slice.seed = first_slice ? report.seed : seeder();
+        ran_once = true;
+        slice.epsilonTotal = std::max(cfg.base.epsilonTotal - error_curr, 0.0);
+        // A resynth-only worker whose ε ran out mid-search has no legal
+        // moves left; stop early. The first slice is exempt so that a
+        // resynth-only config with no budget at all hits the same
+        // fatal() diagnostic optimize() raises for it.
+        if (!first_slice && slice.epsilonTotal == 0 &&
+            slice.selection == TransformSelection::ResynthOnly)
+            break;
+        if (sliced) {
+            // Clamp the exchange interval: zero/negative would make
+            // every slice an already-expired deadline and the loop a
+            // busy-spin that burns the whole budget doing nothing.
+            const double sync = std::max(cfg.syncIntervalSeconds, 0.01);
+            slice.timeBudgetSeconds = std::min(sync, deadline.remaining());
+        }
+        GuoqResult r = optimize(curr, set, slice);
+        mergeStats(report.stats, r.stats);
+        const double cost_r = cost(r.best);
+        const double error_r = error_curr + r.errorBound;
+        // Keep the incumbent on cost ties unless the slice spent no ε:
+        // an equal-cost circuit that cost approximation budget is a
+        // strictly worse position to continue from.
+        if (cost_r < cost(curr) || (cost_r == cost(curr) && r.errorBound == 0)) {
+            curr = std::move(r.best);
+            error_curr = error_r;
+        }
+        shared.offer(curr, cost(curr), error_curr, worker);
+        if (cfg.exchangeBest && sliced && !deadline.expired()) {
+            double adopted_error = error_curr;
+            if (shared.adopt(cost(curr), curr, adopted_error))
+                error_curr = adopted_error;
+        }
+    }
+
+    report.finalCost = cost(curr);
+    report.errorBound = error_curr;
+}
+
+} // namespace
+
+std::uint64_t
+portfolioWorkerSeed(std::uint64_t base_seed, int worker)
+{
+    if (worker == 0)
+        return base_seed; // threads=1 must reproduce optimize() exactly
+    // Derive well-separated streams from the base seed via the same
+    // splitmix-style mixing Rng uses for state expansion.
+    std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ull *
+                                      static_cast<std::uint64_t>(worker);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+PortfolioResult
+optimizePortfolio(const ir::Circuit &c, ir::GateSetKind set,
+                  const PortfolioConfig &cfg)
+{
+    const int threads = std::max(cfg.threads, 1);
+    const CostFunction cost(cfg.base.objective, set);
+    support::Timer timer;
+
+    PortfolioResult result;
+
+    if (threads == 1) {
+        // Exactly one core::optimize() call: same seed, same result.
+        GuoqResult r = optimize(c, set, cfg.base);
+        result.best = std::move(r.best);
+        result.bestCost = cost(result.best);
+        result.errorBound = r.errorBound;
+        result.winningWorker = 0;
+        result.stats = r.stats;
+        PortfolioWorkerReport report;
+        report.worker = 0;
+        report.seed = cfg.base.seed;
+        report.finalCost = result.bestCost;
+        report.errorBound = r.errorBound;
+        report.stats = r.stats;
+        result.workers.push_back(std::move(report));
+        result.stats.seconds = timer.seconds();
+        return result;
+    }
+
+    SharedBest shared;
+    shared.circuit = c;
+    shared.cost = cost(c);
+    shared.error = 0;
+    shared.worker = 0;
+
+    const support::Deadline deadline =
+        support::Deadline::in(cfg.base.timeBudgetSeconds);
+
+    std::vector<PortfolioWorkerReport> reports(
+        static_cast<std::size_t>(threads));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w)
+        pool.emplace_back([&, w]() {
+            runWorker(w, c, set, cfg, deadline, cost, shared,
+                      reports[static_cast<std::size_t>(w)]);
+        });
+    for (std::thread &t : pool)
+        t.join();
+
+    result.best = std::move(shared.circuit);
+    result.bestCost = shared.cost;
+    result.errorBound = shared.error;
+    result.winningWorker = shared.worker;
+    for (PortfolioWorkerReport &r : reports)
+        mergeStats(result.stats, r.stats);
+    result.workers = std::move(reports);
+    result.stats.seconds = timer.seconds();
+    return result;
+}
+
+} // namespace core
+} // namespace guoq

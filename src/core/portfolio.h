@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Parallel portfolio search: N independently-seeded GUOQ instances on
+ * worker threads sharing one wall-clock budget.
+ *
+ * GUOQ is an anytime randomized search, so its solution quality scales
+ * with independent restarts; the portfolio turns that into a multi-core
+ * optimizer. Workers run core::optimize() in short slices, publish
+ * improvements to a mutex-guarded global best between slices, and adopt
+ * the global best when another worker has pulled ahead. The returned
+ * circuit still satisfies Thm. 5.3 (C ≡_{ε_f} best): every adopted
+ * circuit carries its accumulated ε, and each slice only spends what
+ * remains of the budget.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/guoq.h"
+#include "ir/circuit.h"
+#include "ir/gate_set.h"
+
+namespace guoq {
+namespace core {
+
+/** Configuration for a portfolio run. */
+struct PortfolioConfig
+{
+    /**
+     * Per-worker GUOQ configuration. `base.seed` seeds worker 0;
+     * worker i > 0 derives an independent stream from it. The time and
+     * iteration budgets are per worker (all workers run concurrently,
+     * so `base.timeBudgetSeconds` is also the portfolio's wall-clock
+     * budget).
+     */
+    GuoqConfig base;
+
+    /** Worker thread count. 1 reduces to a plain core::optimize(). */
+    int threads = 1;
+
+    /**
+     * Seconds between global-best exchanges. Workers slice their time
+     * budget into intervals of this length and synchronize at slice
+     * boundaries. Ignored in iteration-capped runs (maxIterations >=
+     * 0), which run each worker as a single slice so results stay
+     * reproducible.
+     */
+    double syncIntervalSeconds = 0.5;
+
+    /**
+     * When true (default), a worker whose current circuit is worse
+     * than the global best abandons it and continues from the global
+     * best. When false workers stay fully independent (pure restart
+     * portfolio) and only the final reduction picks the winner.
+     */
+    bool exchangeBest = true;
+};
+
+/** Final state of one worker, for reporting and tests. */
+struct PortfolioWorkerReport
+{
+    int worker = 0;
+    std::uint64_t seed = 0;   //!< seed of the worker's first slice
+    double finalCost = 0;     //!< cost of the worker's last circuit
+    double errorBound = 0;    //!< accumulated ε of that circuit
+    GuoqStats stats;          //!< summed over the worker's slices
+};
+
+/** Result of optimizePortfolio(). */
+struct PortfolioResult
+{
+    ir::Circuit best;
+    double bestCost = 0;
+    double errorBound = 0;   //!< accumulated ε of `best`
+    int winningWorker = 0;   //!< worker that first reached `bestCost`
+    GuoqStats stats;         //!< merged: counters summed over workers,
+                             //!< `seconds` = portfolio wall-clock time
+    std::vector<PortfolioWorkerReport> workers;
+};
+
+/** The seed worker @p worker uses for its first slice. */
+std::uint64_t portfolioWorkerSeed(std::uint64_t base_seed, int worker);
+
+/**
+ * Run a parallel portfolio of GUOQ instances on @p c targeting @p set.
+ *
+ * With cfg.threads == 1 this is exactly core::optimize(cfg.base): same
+ * seed, same single search trajectory, same result. With more threads
+ * each worker searches independently from its own seed and the best
+ * circuit across all workers is returned; the result is never worse
+ * (by cfg.base.objective) than any single worker's, and in particular
+ * never worse than the input.
+ */
+PortfolioResult optimizePortfolio(const ir::Circuit &c,
+                                  ir::GateSetKind set,
+                                  const PortfolioConfig &cfg);
+
+} // namespace core
+} // namespace guoq

@@ -31,13 +31,30 @@ envInt(const std::string &name, int fallback)
 double
 benchScale()
 {
-    return envDouble("GUOQ_BENCH_SCALE", 1.0);
+    // Clamp: GUOQ_BENCH_SCALE=0 (or negative, or garbage parsed as 0)
+    // must not zero out every search budget downstream — a zero-second
+    // deadline makes each optimizer return its input and every harness
+    // silently reports 0% reduction. 1e-3 keeps "as tiny as possible"
+    // runs meaningful (milliseconds-scale budgets) while staying
+    // usable for smoke tests.
+    constexpr double kMinScale = 1e-3;
+    constexpr double kMaxScale = 1e6;
+    const double scale = envDouble("GUOQ_BENCH_SCALE", 1.0);
+    // !(>=) instead of (<) so NaN also falls into the clamp; the upper
+    // bound keeps "inf" from producing deadlines that overflow the
+    // steady-clock duration conversion.
+    if (!(scale >= kMinScale))
+        return kMinScale;
+    return scale > kMaxScale ? kMaxScale : scale;
 }
 
 int
 benchTrials()
 {
-    return envInt("GUOQ_BENCH_TRIALS", 3);
+    // Same guard as benchScale(): zero trials would make every
+    // experiment cell silently empty.
+    const int trials = envInt("GUOQ_BENCH_TRIALS", 3);
+    return trials < 1 ? 1 : trials;
 }
 
 std::uint64_t

@@ -24,10 +24,14 @@ double envDouble(const std::string &name, double fallback);
 /** Read env var @p name as int, or @p fallback when unset/bad. */
 int envInt(const std::string &name, int fallback);
 
-/** Global benchmark scale factor (GUOQ_BENCH_SCALE). */
+/**
+ * Global benchmark scale factor (GUOQ_BENCH_SCALE), clamped to a small
+ * positive minimum so a zero/negative scale cannot zero out every
+ * search budget.
+ */
 double benchScale();
 
-/** Trials per experiment cell (GUOQ_BENCH_TRIALS). */
+/** Trials per experiment cell (GUOQ_BENCH_TRIALS), clamped to >= 1. */
 int benchTrials();
 
 /** Base seed for the harnesses (GUOQ_BENCH_SEED). */

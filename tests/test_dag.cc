@@ -65,11 +65,13 @@ TEST(CircuitDag, NextPrevAreInverse)
     for (std::size_t i = 0; i < c.size(); ++i) {
         for (int q : c.gate(i).qubits) {
             const std::size_t n = d.next(i, q);
-            if (n != dag::kNoGate)
+            if (n != dag::kNoGate) {
                 EXPECT_EQ(d.prev(n, q), i);
+            }
             const std::size_t p = d.prev(i, q);
-            if (p != dag::kNoGate)
+            if (p != dag::kNoGate) {
                 EXPECT_EQ(d.next(p, q), i);
+            }
         }
     }
 }
@@ -85,8 +87,9 @@ TEST(CircuitDag, WireTraversalVisitsAllGatesInOrder)
         std::size_t prev_idx = 0;
         for (std::size_t i = d.firstOnWire(q); i != dag::kNoGate;
              i = d.next(i, q)) {
-            if (count > 0)
+            if (count > 0) {
                 EXPECT_GT(i, prev_idx); // strictly increasing
+            }
             prev_idx = i;
             ++count;
         }

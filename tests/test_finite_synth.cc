@@ -111,8 +111,9 @@ TEST(FiniteSynth, HonorsMaxGatesCap)
     o.seed = &t;
     const synth::SynthResult r = synth::finiteSynth(
         sim::circuitUnitary(t), 2, o, rng);
-    if (r.success)
+    if (r.success) {
         EXPECT_LE(r.circuit.size(), 6u);
+    }
 }
 
 } // namespace

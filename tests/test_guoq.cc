@@ -12,11 +12,16 @@ namespace guoq {
 namespace {
 
 core::GuoqConfig
-quickConfig(double eps = 0, double seconds = 2.0)
+quickConfig(double eps = 0, double seconds = 2.0, long iterations = -1)
 {
     core::GuoqConfig cfg;
     cfg.epsilonTotal = eps;
     cfg.timeBudgetSeconds = seconds;
+    // Most properties here are anytime-safe (they hold for any prefix
+    // of the search), so an iteration cap keeps the test fast and
+    // machine-independent; quality-sensitive tests pass -1 and run
+    // their full wall-clock budget.
+    cfg.maxIterations = iterations;
     cfg.seed = 7;
     return cfg;
 }
@@ -30,8 +35,8 @@ TEST(Guoq, DrainsFullyRedundantCircuit)
     c.cx(0, 1);
     c.x(1);
     c.x(1);
-    const core::GuoqResult r =
-        core::optimize(c, ir::GateSetKind::Nam, quickConfig());
+    const core::GuoqResult r = core::optimize(
+        c, ir::GateSetKind::Nam, quickConfig(0, 2.0, 5000));
     EXPECT_EQ(r.best.size(), 0u);
     EXPECT_EQ(r.errorBound, 0.0);
 }
@@ -41,8 +46,8 @@ TEST(Guoq, ExactModeNeverSpendsError)
     support::Rng rng(1);
     const ir::Circuit c = testutil::randomNativeCircuit(
         ir::GateSetKind::IbmEagle, 4, 40, rng);
-    const core::GuoqResult r =
-        core::optimize(c, ir::GateSetKind::IbmEagle, quickConfig(0, 1.5));
+    const core::GuoqResult r = core::optimize(
+        c, ir::GateSetKind::IbmEagle, quickConfig(0, 1.5, 2000));
     EXPECT_EQ(r.errorBound, 0.0);
     EXPECT_EQ(r.stats.resynthAccepted, 0);
     EXPECT_LT(sim::circuitDistance(c, r.best), testutil::kExact);
@@ -60,7 +65,7 @@ TEST_P(GuoqTheorem53, OutputWithinEpsilonOfInput)
     support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 59 + 11);
     const ir::Circuit c = testutil::randomNativeCircuit(set, 4, 35, rng);
     const double eps = 1e-5;
-    core::GuoqConfig cfg = quickConfig(eps, 1.5);
+    core::GuoqConfig cfg = quickConfig(eps, 1.5, 1500);
     cfg.seed = static_cast<std::uint64_t>(GetParam());
     const core::GuoqResult r = core::optimize(c, set, cfg);
     EXPECT_LE(r.errorBound, eps);
@@ -79,7 +84,7 @@ TEST(Guoq, NeverReturnsWorseThanInput)
         const core::CostFunction cost(core::Objective::TwoQubitCount,
                                       set);
         const core::GuoqResult r =
-            core::optimize(c, set, quickConfig(1e-5, 1.0));
+            core::optimize(c, set, quickConfig(1e-5, 1.0, 1000));
         EXPECT_LE(cost(r.best), cost(c)) << ir::gateSetName(set);
     }
 }
@@ -125,7 +130,7 @@ TEST(Guoq, TraceIsMonotoneNonIncreasing)
 {
     const ir::Circuit c =
         transpile::toGateSet(workloads::qft(4), ir::GateSetKind::Nam);
-    core::GuoqConfig cfg = quickConfig(1e-6, 1.5);
+    core::GuoqConfig cfg = quickConfig(1e-6, 1.5, 1500);
     cfg.recordTrace = true;
     const core::GuoqResult r =
         core::optimize(c, ir::GateSetKind::Nam, cfg);
@@ -148,7 +153,7 @@ TEST(Guoq, RewriteOnlyAblationRuns)
 {
     const ir::Circuit c = transpile::toGateSet(workloads::qft(4),
                                                ir::GateSetKind::Ibmq20);
-    core::GuoqConfig cfg = quickConfig(1e-6, 1.0);
+    core::GuoqConfig cfg = quickConfig(1e-6, 1.0, 2000);
     cfg.selection = core::TransformSelection::RewriteOnly;
     const core::GuoqResult r =
         core::optimize(c, ir::GateSetKind::Ibmq20, cfg);
@@ -200,7 +205,7 @@ TEST(Guoq, StatsAreInternallyConsistent)
     support::Rng rng(8);
     const ir::Circuit c =
         testutil::randomNativeCircuit(ir::GateSetKind::Nam, 4, 30, rng);
-    core::GuoqConfig cfg = quickConfig(1e-6, 1.0);
+    core::GuoqConfig cfg = quickConfig(1e-6, 1.0, 1000);
     const core::GuoqResult r =
         core::optimize(c, ir::GateSetKind::Nam, cfg);
     EXPECT_GT(r.stats.iterations, 0);

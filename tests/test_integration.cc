@@ -43,10 +43,11 @@ TEST(Integration, GuoqBeatsOrMatchesQiskitLikeOnQuickSuite)
         EXPECT_LE(r.best.twoQubitGateCount() * 1.0,
                   baseline.twoQubitGateCount() * 1.0 + 1.0)
             << b.name;
-        if (b.circuit.numQubits() <= 8)
+        if (b.circuit.numQubits() <= 8) {
             EXPECT_LE(sim::circuitDistance(b.circuit, r.best),
                       1e-5 + testutil::kExact)
                 << b.name;
+        }
     }
 }
 
@@ -62,6 +63,9 @@ TEST(Integration, PyzxThenGuoqPipeline)
         core::GuoqConfig cfg;
         cfg.epsilonTotal = 1e-5;
         cfg.timeBudgetSeconds = 1.5;
+        // Anytime-safe claim (the objective never worsens): cap the
+        // iterations so the sweep doesn't sleep out its full budget.
+        cfg.maxIterations = 2000;
         cfg.objective = core::Objective::TThenTwoQubit;
         const core::GuoqResult r =
             core::optimize(zx, ir::GateSetKind::CliffordT, cfg);
@@ -84,11 +88,13 @@ TEST(Integration, QasmExportReimportOptimize)
     core::GuoqConfig cfg;
     cfg.epsilonTotal = 0;
     cfg.timeBudgetSeconds = 1.0;
+    cfg.maxIterations = 2000;
     const core::GuoqResult r =
         core::optimize(back, ir::GateSetKind::Nam, cfg);
-    if (back.numQubits() <= 8)
+    if (back.numQubits() <= 8) {
         EXPECT_LT(sim::circuitDistance(quick[0].circuit, r.best),
                   testutil::kExact);
+    }
 }
 
 TEST(Integration, GuoqSubsumesPartitionResynthOnRedundantCircuit)
@@ -104,10 +110,11 @@ TEST(Integration, GuoqSubsumesPartitionResynthOnRedundantCircuit)
     }
     const auto pr = baselines::partitionResynth(
         c, ir::GateSetKind::Nam, core::Objective::TwoQubitCount, 1e-5,
-        6.0, 1);
+        2.0, 1);
     core::GuoqConfig cfg;
     cfg.epsilonTotal = 1e-5;
     cfg.timeBudgetSeconds = 3.0;
+    cfg.maxIterations = 5000;
     const core::GuoqResult r =
         core::optimize(c, ir::GateSetKind::Nam, cfg);
     EXPECT_LE(r.best.twoQubitGateCount(),
@@ -125,6 +132,7 @@ TEST(Integration, FtqcObjectiveReducesTCount)
     core::GuoqConfig cfg;
     cfg.epsilonTotal = 1e-5;
     cfg.timeBudgetSeconds = 4.0;
+    cfg.maxIterations = 4000;
     cfg.objective = core::Objective::TCount;
     const core::GuoqResult r =
         core::optimize(c, ir::GateSetKind::CliffordT, cfg);
@@ -143,13 +151,15 @@ TEST(Integration, AllGateSetsEndToEnd)
         core::GuoqConfig cfg;
         cfg.epsilonTotal = 1e-5;
         cfg.timeBudgetSeconds = 1.0;
+        cfg.maxIterations = 1500;
         const core::GuoqResult r = core::optimize(c, set, cfg);
         EXPECT_LE(r.best.gateCount(), c.gateCount())
             << ir::gateSetName(set);
-        if (c.numQubits() <= 8)
+        if (c.numQubits() <= 8) {
             EXPECT_LE(sim::circuitDistance(c, r.best),
                       1e-5 + testutil::kExact)
                 << ir::gateSetName(set);
+        }
     }
 }
 

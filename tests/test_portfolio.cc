@@ -1,0 +1,147 @@
+/** @file Tests for the parallel portfolio optimizer. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/portfolio.h"
+#include "support/timer.h"
+#include "sim/unitary_sim.h"
+#include "tests/test_util.h"
+#include "transpile/to_gate_set.h"
+#include "workloads/standard.h"
+
+namespace guoq {
+namespace {
+
+core::PortfolioConfig
+iterConfig(int threads, long iterations, double eps = 0)
+{
+    core::PortfolioConfig cfg;
+    cfg.threads = threads;
+    cfg.base.epsilonTotal = eps;
+    cfg.base.timeBudgetSeconds = 60.0;
+    cfg.base.maxIterations = iterations;
+    cfg.base.seed = 11;
+    return cfg;
+}
+
+ir::Circuit
+testCircuit(std::uint64_t seed = 1, int gates = 30)
+{
+    support::Rng rng(seed);
+    return testutil::randomNativeCircuit(ir::GateSetKind::Nam, 4, gates,
+                                         rng);
+}
+
+TEST(Portfolio, SingleThreadReproducesOptimizeExactly)
+{
+    const ir::Circuit c = testCircuit();
+    const core::PortfolioConfig cfg = iterConfig(1, 300);
+    const core::PortfolioResult p =
+        core::optimizePortfolio(c, ir::GateSetKind::Nam, cfg);
+    const core::GuoqResult r =
+        core::optimize(c, ir::GateSetKind::Nam, cfg.base);
+    EXPECT_EQ(p.best.toString(), r.best.toString());
+    EXPECT_EQ(p.errorBound, r.errorBound);
+    EXPECT_EQ(p.stats.iterations, r.stats.iterations);
+    EXPECT_EQ(p.stats.accepted, r.stats.accepted);
+    EXPECT_EQ(p.stats.rejected, r.stats.rejected);
+    EXPECT_EQ(p.winningWorker, 0);
+    ASSERT_EQ(p.workers.size(), 1u);
+    EXPECT_EQ(p.workers[0].seed, cfg.base.seed);
+}
+
+TEST(Portfolio, NeverWorseThanAnySingleSeed)
+{
+    const ir::Circuit c = testCircuit(2, 40);
+    const core::CostFunction cost(core::Objective::TwoQubitCount,
+                                  ir::GateSetKind::Nam);
+    const int threads = 4;
+    const core::PortfolioConfig cfg = iterConfig(threads, 200);
+    const core::PortfolioResult p =
+        core::optimizePortfolio(c, ir::GateSetKind::Nam, cfg);
+
+    // Each worker's single-seed run, replayed serially.
+    double worst = 0;
+    for (int w = 0; w < threads; ++w) {
+        core::GuoqConfig single = cfg.base;
+        single.seed = core::portfolioWorkerSeed(cfg.base.seed, w);
+        const core::GuoqResult r =
+            core::optimize(c, ir::GateSetKind::Nam, single);
+        worst = std::max(worst, cost(r.best));
+    }
+    EXPECT_LE(p.bestCost, worst);
+    EXPECT_LE(p.bestCost, cost(c));
+    EXPECT_EQ(cost(p.best), p.bestCost);
+}
+
+TEST(Portfolio, MergedStatsSumPerWorkerIterations)
+{
+    const ir::Circuit c = testCircuit(3);
+    const int threads = 3;
+    const long iterations = 150;
+    const core::PortfolioResult p = core::optimizePortfolio(
+        c, ir::GateSetKind::Nam, iterConfig(threads, iterations));
+    ASSERT_EQ(p.workers.size(), static_cast<std::size_t>(threads));
+    long sum = 0;
+    for (const core::PortfolioWorkerReport &w : p.workers) {
+        EXPECT_EQ(w.stats.iterations, iterations);
+        sum += w.stats.iterations;
+    }
+    EXPECT_EQ(p.stats.iterations, sum);
+    EXPECT_EQ(p.stats.iterations, threads * iterations);
+}
+
+TEST(Portfolio, WorkerSeedsAreDistinctAndStable)
+{
+    std::set<std::uint64_t> seeds;
+    for (int w = 0; w < 16; ++w)
+        seeds.insert(core::portfolioWorkerSeed(42, w));
+    EXPECT_EQ(seeds.size(), 16u);
+    EXPECT_EQ(core::portfolioWorkerSeed(42, 0), 42u);
+    EXPECT_EQ(core::portfolioWorkerSeed(42, 5),
+              core::portfolioWorkerSeed(42, 5));
+}
+
+TEST(Portfolio, RespectsEpsilonBudgetAcrossWorkers)
+{
+    const ir::Circuit c = testCircuit(4, 35);
+    const double eps = 1e-5;
+    core::PortfolioConfig cfg = iterConfig(3, 300, eps);
+    const core::PortfolioResult p =
+        core::optimizePortfolio(c, ir::GateSetKind::Nam, cfg);
+    EXPECT_LE(p.errorBound, eps);
+    EXPECT_LE(sim::circuitDistance(c, p.best), eps + testutil::kExact);
+    for (const core::PortfolioWorkerReport &w : p.workers)
+        EXPECT_LE(w.errorBound, eps);
+}
+
+TEST(Portfolio, TimeBudgetModeFinishesAndImproves)
+{
+    // Sliced time-budget mode with best-exchange on: finishes inside
+    // the wall-clock budget and never returns worse than the input.
+    ir::Circuit c(2);
+    for (int i = 0; i < 4; ++i)
+        c.h(0);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    c.x(1);
+    c.x(1);
+    core::PortfolioConfig cfg;
+    cfg.threads = 2;
+    cfg.base.timeBudgetSeconds = 1.0;
+    cfg.syncIntervalSeconds = 0.2;
+    cfg.base.seed = 7;
+    support::Timer timer;
+    const core::PortfolioResult p =
+        core::optimizePortfolio(c, ir::GateSetKind::Nam, cfg);
+    EXPECT_LT(timer.seconds(), 10.0);
+    EXPECT_EQ(p.best.size(), 0u);
+    EXPECT_EQ(p.errorBound, 0.0);
+    EXPECT_GT(p.stats.iterations, 0);
+}
+
+} // namespace
+} // namespace guoq

@@ -130,8 +130,9 @@ TEST(Resynth, UnchangedResultReportsZeroDistance)
     sub.cx(0, 1);
     const synth::ResynthResult r = synth::resynthesize(
         sub, optionsFor(ir::GateSetKind::Nam, 1e-6, 8), rng);
-    if (r.success && r.circuit.gates() == sub.gates())
+    if (r.success && r.circuit.gates() == sub.gates()) {
         EXPECT_EQ(r.distance, 0.0);
+    }
 }
 
 } // namespace

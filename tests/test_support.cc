@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 
 #include "support/options.h"
@@ -145,6 +146,29 @@ TEST(Options, EnvFallbacks)
     ::setenv("GUOQ_TEST_OPTION", "junk", 1);
     EXPECT_EQ(support::envInt("GUOQ_TEST_OPTION", 7), 7);
     ::unsetenv("GUOQ_TEST_OPTION");
+}
+
+TEST(Options, BenchScaleClampsDegenerateValues)
+{
+    // GUOQ_BENCH_SCALE=0 (or negative) must not zero every search
+    // budget — the harnesses would silently optimize nothing.
+    ::setenv("GUOQ_BENCH_SCALE", "0", 1);
+    EXPECT_GT(support::benchScale(), 0.0);
+    ::setenv("GUOQ_BENCH_SCALE", "-3", 1);
+    EXPECT_GT(support::benchScale(), 0.0);
+    ::setenv("GUOQ_BENCH_SCALE", "0.0001", 1);
+    EXPECT_GT(support::benchScale(), 0.0);
+    ::setenv("GUOQ_BENCH_SCALE", "2.5", 1);
+    EXPECT_EQ(support::benchScale(), 2.5);
+    ::setenv("GUOQ_BENCH_SCALE", "nan", 1);
+    EXPECT_GT(support::benchScale(), 0.0);
+    ::setenv("GUOQ_BENCH_SCALE", "inf", 1);
+    EXPECT_TRUE(std::isfinite(support::benchScale()));
+    ::unsetenv("GUOQ_BENCH_SCALE");
+
+    ::setenv("GUOQ_BENCH_TRIALS", "0", 1);
+    EXPECT_GE(support::benchTrials(), 1);
+    ::unsetenv("GUOQ_BENCH_TRIALS");
 }
 
 TEST(Timer, MeasuresElapsedTime)

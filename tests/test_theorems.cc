@@ -84,6 +84,9 @@ TEST(Theorem53, ErrorBoundNeverExceedsBudgetAcrossSeeds)
         core::GuoqConfig cfg;
         cfg.epsilonTotal = 1e-5;
         cfg.timeBudgetSeconds = 1.0;
+        // The bound holds for any prefix of the search; the cap keeps
+        // the sweep fast and machine-independent.
+        cfg.maxIterations = 1500;
         cfg.seed = seed;
         const core::GuoqResult r =
             core::optimize(c, ir::GateSetKind::Nam, cfg);
@@ -101,6 +104,7 @@ TEST(Theorem53, ZeroBudgetMeansExactEquality)
     core::GuoqConfig cfg;
     cfg.epsilonTotal = 0;
     cfg.timeBudgetSeconds = 1.0;
+    cfg.maxIterations = 2000;
     const core::GuoqResult r =
         core::optimize(c, ir::GateSetKind::Ibmq20, cfg);
     EXPECT_EQ(r.errorBound, 0.0);

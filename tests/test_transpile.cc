@@ -68,8 +68,9 @@ TEST_P(ExpandGate, ExpandToCxBasisExactForEveryMultiQubitKind)
     }
     const ir::Circuit b = transpile::expandToCxBasis(a);
     for (const ir::Gate &g : b.gates())
-        if (g.arity() >= 2)
+        if (g.arity() >= 2) {
             EXPECT_EQ(g.kind, ir::GateKind::CX);
+        }
     EXPECT_LT(sim::circuitDistance(a, b), kExact);
 }
 
@@ -207,8 +208,9 @@ TEST_P(ToGateSetWorkloads, NativeAndExact)
         GTEST_SKIP() << "qft_4 is not exactly Clifford+T representable";
     const ir::Circuit out = transpile::toGateSet(c, set);
     EXPECT_TRUE(transpile::allNative(out, set));
-    if (c.numQubits() <= 8)
+    if (c.numQubits() <= 8) {
         EXPECT_LT(sim::circuitDistance(c, out), kExact);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Command-line driver: OpenQASM 2.0 in, optimized OpenQASM 2.0 out.
+ *
+ *   guoq_cli --in circuit.qasm --out optimized.qasm \
+ *            --gate-set nam --objective 2q-count \
+ *            --epsilon 1e-5 --time 10 --threads 4 --seed 1
+ *
+ * `--in -` (the default) reads the program from stdin; `--out -` (the
+ * default) writes to stdout. Progress and statistics go to stderr so
+ * the QASM stream stays pipeable.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/portfolio.h"
+#include "ir/gate_set.h"
+#include "qasm/parser.h"
+#include "qasm/printer.h"
+#include "sim/unitary_sim.h"
+
+namespace {
+
+using namespace guoq;
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "\n"
+        "Optimize an OpenQASM 2.0 circuit with GUOQ.\n"
+        "\n"
+        "options:\n"
+        "  --in FILE        input QASM file, or - for stdin (default -)\n"
+        "  --out FILE       output QASM file, or - for stdout (default -)\n"
+        "  --gate-set S     ibmq20 | ibm-eagle | ionq | nam | cliffordt\n"
+        "                   (default nam)\n"
+        "  --objective O    2q-count | t-count | 2t+cx | fidelity |\n"
+        "                   gate-count | depth  (default 2q-count)\n"
+        "  --epsilon E      total approximation budget eps_f; 0 keeps\n"
+        "                   the run exact (default 0)\n"
+        "  --time T         wall-clock budget in seconds (default 10)\n"
+        "  --threads N      portfolio worker threads (default 1)\n"
+        "  --seed S         base RNG seed (default 1)\n"
+        "  --iterations K   iteration cap per worker; without an\n"
+        "                   explicit --time the cap alone decides where\n"
+        "                   the search stops, making runs reproducible\n"
+        "                   (default: none, run until --time)\n"
+        "  --verify         recompute the Hilbert-Schmidt distance of\n"
+        "                   the result against the input (<= 10 qubits)\n"
+        "  --quiet          suppress the stderr report\n"
+        "  -h, --help       show this message\n",
+        argv0);
+}
+
+bool
+parseGateSet(const std::string &name, ir::GateSetKind &out)
+{
+    for (ir::GateSetKind set : ir::allGateSets())
+        if (ir::gateSetName(set) == name) {
+            out = set;
+            return true;
+        }
+    return false;
+}
+
+bool
+parseObjective(const std::string &name, core::Objective &out)
+{
+    static const core::Objective all[] = {
+        core::Objective::TwoQubitCount, core::Objective::TCount,
+        core::Objective::TThenTwoQubit, core::Objective::Fidelity,
+        core::Objective::GateCount,     core::Objective::Depth,
+    };
+    for (core::Objective obj : all)
+        if (core::objectiveName(obj) == name) {
+            out = obj;
+            return true;
+        }
+    return false;
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "guoq_cli: %s\n", msg.c_str());
+    std::exit(2);
+}
+
+/** Strict numeric parses: reject trailing garbage instead of
+ *  silently reading "abc" as 0 (mirrors support::envDouble). */
+double
+parseDouble(const std::string &flag, const std::string &v)
+{
+    char *end = nullptr;
+    const double x = std::strtod(v.c_str(), &end);
+    if (!end || *end != '\0' || v.empty())
+        die(flag + " expects a number, got '" + v + "'");
+    return x;
+}
+
+long
+parseLong(const std::string &flag, const std::string &v)
+{
+    char *end = nullptr;
+    const long x = std::strtol(v.c_str(), &end, 10);
+    if (!end || *end != '\0' || v.empty())
+        die(flag + " expects an integer, got '" + v + "'");
+    return x;
+}
+
+std::uint64_t
+parseSeed(const std::string &flag, const std::string &v)
+{
+    char *end = nullptr;
+    const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+    // strtoull silently wraps "-3" to 2^64-3; reject the sign upfront.
+    if (!end || *end != '\0' || v.empty() || v[0] == '-')
+        die(flag + " expects an unsigned integer, got '" + v + "'");
+    return static_cast<std::uint64_t>(x);
+}
+
+std::string
+readAll(std::istream &in)
+{
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    constexpr double kMaxTimeSeconds = 1e7;
+    std::string in_path = "-";
+    std::string out_path = "-";
+    ir::GateSetKind set = ir::GateSetKind::Nam;
+    core::PortfolioConfig cfg;
+    cfg.base.epsilonTotal = 0;
+    cfg.base.timeBudgetSeconds = 10.0;
+    cfg.base.seed = 1;
+    bool verify = false;
+    bool quiet = false;
+    bool explicit_time = false;
+
+    auto value = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            die(std::string(argv[i]) + " expects a value");
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--in") {
+            in_path = value(i);
+        } else if (arg == "--out") {
+            out_path = value(i);
+        } else if (arg == "--gate-set") {
+            const std::string name = value(i);
+            if (!parseGateSet(name, set))
+                die("unknown gate set '" + name + "'");
+        } else if (arg == "--objective") {
+            const std::string name = value(i);
+            if (!parseObjective(name, cfg.base.objective))
+                die("unknown objective '" + name + "'");
+        } else if (arg == "--epsilon") {
+            cfg.base.epsilonTotal = parseDouble(arg, value(i));
+            // !(>= 0) also rejects NaN, which would otherwise disable
+            // every budget comparison in the optimizer.
+            if (!(cfg.base.epsilonTotal >= 0) ||
+                !std::isfinite(cfg.base.epsilonTotal))
+                die("--epsilon must be a finite value >= 0");
+        } else if (arg == "--time") {
+            cfg.base.timeBudgetSeconds = parseDouble(arg, value(i));
+            // The upper bound keeps Deadline's double-to-clock-duration
+            // conversion representable; NaN/inf/huge would overflow it
+            // into an already-expired deadline (silent 0-iteration run).
+            if (!(cfg.base.timeBudgetSeconds > 0) ||
+                cfg.base.timeBudgetSeconds > kMaxTimeSeconds)
+                die("--time must be in (0, 1e7] seconds");
+            explicit_time = true;
+        } else if (arg == "--threads") {
+            const long n = parseLong(arg, value(i));
+            if (n < 1 || n > 1024)
+                die("--threads must be in [1, 1024]");
+            cfg.threads = static_cast<int>(n);
+        } else if (arg == "--seed") {
+            cfg.base.seed = parseSeed(arg, value(i));
+        } else if (arg == "--iterations") {
+            cfg.base.maxIterations = parseLong(arg, value(i));
+            // 0 would emit the input unchanged (silent no-op); omit
+            // the flag entirely for an unlimited run.
+            if (cfg.base.maxIterations < 1)
+                die("--iterations must be >= 1");
+        } else if (arg == "--verify") {
+            verify = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            usage(argv[0]);
+            die("unknown argument '" + arg + "'");
+        }
+    }
+
+    // An iteration cap without an explicit --time means "reproducible
+    // run": lift the default 10 s budget so the cap — not machine
+    // speed — decides where the search stops.
+    if (cfg.base.maxIterations >= 0 && !explicit_time)
+        cfg.base.timeBudgetSeconds = kMaxTimeSeconds;
+
+    const ir::Circuit input =
+        in_path == "-" ? qasm::parse(readAll(std::cin))
+                       : qasm::parseFile(in_path);
+    // Fail fast, before the optimization run: verification builds the
+    // full 2^n x 2^n unitary, which is hopeless past ~10 qubits.
+    if (verify && input.numQubits() > 10)
+        die("--verify builds the full 2^n unitary and supports at most "
+            "10 qubits; input has " +
+            std::to_string(input.numQubits()));
+    if (!quiet)
+        std::fprintf(stderr,
+                     "guoq_cli: %zu gates (%zu two-qubit) on %d qubits, "
+                     "gate set %s, objective %s, eps=%g, %gs x %d "
+                     "thread(s)\n",
+                     input.size(), input.twoQubitGateCount(),
+                     input.numQubits(), ir::gateSetName(set).c_str(),
+                     core::objectiveName(cfg.base.objective).c_str(),
+                     cfg.base.epsilonTotal, cfg.base.timeBudgetSeconds,
+                     cfg.threads);
+
+    const core::PortfolioResult result =
+        core::optimizePortfolio(input, set, cfg);
+
+    if (!quiet) {
+        std::fprintf(stderr,
+                     "guoq_cli: best cost %g (worker %d), %zu gates "
+                     "(%zu two-qubit), error bound %.3g\n",
+                     result.bestCost, result.winningWorker,
+                     result.best.size(), result.best.twoQubitGateCount(),
+                     result.errorBound);
+        std::fprintf(stderr,
+                     "guoq_cli: %ld iterations total, %ld accepted, "
+                     "%ld resynthesis accepts, %.2fs wall\n",
+                     result.stats.iterations, result.stats.accepted,
+                     result.stats.resynthAccepted, result.stats.seconds);
+        for (const core::PortfolioWorkerReport &w : result.workers)
+            std::fprintf(stderr,
+                         "guoq_cli:   worker %d: seed %llu, final cost "
+                         "%g, %ld iterations\n",
+                         w.worker,
+                         static_cast<unsigned long long>(w.seed),
+                         w.finalCost, w.stats.iterations);
+    }
+
+    if (verify) {
+        const double d = sim::circuitDistance(input, result.best);
+        std::fprintf(stderr,
+                     "guoq_cli: verified HS distance %.3g (budget %g)\n",
+                     d, cfg.base.epsilonTotal);
+        if (d > cfg.base.epsilonTotal + 1e-6)
+            die("verification FAILED: distance exceeds budget");
+    }
+
+    if (out_path == "-")
+        std::fputs(qasm::toQasm(result.best).c_str(), stdout);
+    else
+        qasm::writeQasmFile(result.best, out_path);
+    return 0;
+}
