@@ -1,24 +1,26 @@
 /**
  * @file
- * Design-knob ablations the paper reports in prose (§5.3, §6):
- *   1. the acceptance temperature t — the paper swept 0..10 and chose
- *      10 (near-greedy);
- *   2. the resynthesis sampling probability — the paper fixes 1.5%;
- *   3. synchronous vs asynchronous resynthesis (§5.3).
- * Each sweep prints final 2q counts on a small circuit panel.
+ * Design-knob ablations the paper reports in prose (§5.3, §6), one
+ * case per knob:
+ *   ablation/temperature  — acceptance temperature t (paper picks 10);
+ *   ablation/resynth-prob — resynthesis sampling probability (1.5%);
+ *   ablation/async        — synchronous vs asynchronous resynthesis.
+ * Each sweep records final 2q counts on a small circuit panel.
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
+#include "bench/registry.h"
+#include "support/table.h"
 #include "transpile/to_gate_set.h"
 #include "workloads/standard.h"
 #include "workloads/variational.h"
 
+namespace {
+
 using namespace guoq;
 using namespace guoq::bench;
-
-namespace {
 
 std::vector<workloads::Benchmark>
 panel(ir::GateSetKind set)
@@ -34,91 +36,130 @@ panel(ir::GateSetKind set)
     return out;
 }
 
-std::size_t
-runWith(const ir::Circuit &c, ir::GateSetKind set,
-        const core::GuoqConfig &base)
+GuoqSpec
+ablationSpec(ir::GateSetKind set)
 {
-    core::GuoqConfig cfg = base;
-    return core::optimize(c, set, cfg).best.twoQubitGateCount();
+    GuoqSpec spec;
+    spec.set = set;
+    spec.baseBudgetSeconds = 3.0;
+    spec.cfg.epsilonTotal = 1e-5;
+    return spec;
 }
 
-} // namespace
-
-int
-main()
+/**
+ * One knob sweep: runs GUOQ per (circuit, setting, trial) cell,
+ * records a final_2q row per cell, and (pretty) prints the legacy
+ * table (trial 0's counts, so the printed numbers stay comparable to
+ * the single-run legacy output).
+ */
+void
+runSweep(CaseContext &ctx, const std::vector<std::string> &labels,
+         const std::function<GuoqSpec(std::size_t)> &specFor)
 {
     const ir::GateSetKind set = ir::GateSetKind::Ibmq20;
     const auto circuits = panel(set);
-    const double budget = guoqBudget(3.0);
 
-    core::GuoqConfig base;
-    base.epsilonTotal = 1e-5;
-    base.timeBudgetSeconds = budget;
-    base.seed = support::benchSeed();
-
-    std::printf("=== Ablation 1: acceptance temperature t "
-                "(paper sweeps 0..10, picks 10) ===\n\n");
-    {
-        support::TextTable table(
-            {"benchmark", "2q in", "t=0", "t=2", "t=10", "t=40"});
-        for (const auto &b : circuits) {
-            std::vector<std::string> row{
-                b.name, std::to_string(b.circuit.twoQubitGateCount())};
-            for (double t : {0.0, 2.0, 10.0, 40.0}) {
-                core::GuoqConfig cfg = base;
-                cfg.temperature = t;
-                row.push_back(
-                    std::to_string(runWith(b.circuit, set, cfg)));
+    std::vector<std::string> headers{"benchmark", "2q in"};
+    headers.insert(headers.end(), labels.begin(), labels.end());
+    support::TextTable table(std::move(headers));
+    for (const auto &b : circuits) {
+        std::vector<std::string> row{
+            b.name, std::to_string(b.circuit.twoQubitGateCount())};
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            const GuoqSpec spec = specFor(i);
+            for (int t = 0; t < ctx.opts().trials; ++t) {
+                const std::uint64_t seed = ctx.opts().trialSeed(t);
+                const std::size_t final_2q =
+                    runGuoq(ctx, spec, b.circuit, seed)
+                        .twoQubitGateCount();
+                CaseResult r;
+                r.benchmark = b.name;
+                r.tool = labels[i];
+                r.metric = "final_2q";
+                r.value = static_cast<double>(final_2q);
+                r.trial = t;
+                r.seed = seed;
+                r.workerSeconds = ctx.takeWorkerSeconds();
+                ctx.record(std::move(r));
+                if (t == 0)
+                    row.push_back(std::to_string(final_2q));
             }
-            table.addRow(std::move(row));
         }
+        table.addRow(std::move(row));
+    }
+    if (ctx.pretty())
         table.print();
+}
+
+void
+runTemperature(CaseContext &ctx)
+{
+    if (ctx.pretty())
+        std::printf("=== Ablation 1: acceptance temperature t "
+                    "(paper sweeps 0..10, picks 10) ===\n\n");
+    const double temps[] = {0.0, 2.0, 10.0, 40.0};
+    runSweep(ctx, {"t=0", "t=2", "t=10", "t=40"}, [&](std::size_t i) {
+        GuoqSpec spec = ablationSpec(ir::GateSetKind::Ibmq20);
+        spec.cfg.temperature = temps[i];
+        return spec;
+    });
+    if (ctx.pretty())
         std::printf("shape check: t=0 (always accept worse) wanders; "
                     "large t is near-greedy and stable.\n\n");
-    }
+}
 
-    std::printf("=== Ablation 2: resynthesis sampling probability "
-                "(paper: 1.5%%) ===\n\n");
-    {
-        support::TextTable table({"benchmark", "2q in", "0.1%", "1.5%",
-                                  "10%", "50%"});
-        for (const auto &b : circuits) {
-            std::vector<std::string> row{
-                b.name, std::to_string(b.circuit.twoQubitGateCount())};
-            for (double p : {0.001, 0.015, 0.10, 0.50}) {
-                core::GuoqConfig cfg = base;
-                cfg.resynthProbability = p;
-                row.push_back(
-                    std::to_string(runWith(b.circuit, set, cfg)));
-            }
-            table.addRow(std::move(row));
-        }
-        table.print();
+void
+runResynthProbability(CaseContext &ctx)
+{
+    if (ctx.pretty())
+        std::printf("=== Ablation 2: resynthesis sampling probability "
+                    "(paper: 1.5%%) ===\n\n");
+    const double probs[] = {0.001, 0.015, 0.10, 0.50};
+    runSweep(ctx, {"0.1%", "1.5%", "10%", "50%"}, [&](std::size_t i) {
+        GuoqSpec spec = ablationSpec(ir::GateSetKind::Ibmq20);
+        spec.cfg.resynthProbability = probs[i];
+        return spec;
+    });
+    if (ctx.pretty())
         std::printf("shape check: too-low starves the slow mode; "
                     "too-high starves the fast mode (resynthesis "
                     "calls monopolize the budget).\n\n");
-    }
+}
 
-    std::printf("=== Ablation 3: synchronous vs asynchronous "
-                "resynthesis (paper 5.3) ===\n\n");
-    {
-        support::TextTable table(
-            {"benchmark", "2q in", "sync", "async"});
-        for (const auto &b : circuits) {
-            core::GuoqConfig sync_cfg = base;
-            core::GuoqConfig async_cfg = base;
-            async_cfg.asyncResynthesis = true;
-            table.addRow({b.name,
-                          std::to_string(b.circuit.twoQubitGateCount()),
-                          std::to_string(runWith(b.circuit, set,
-                                                 sync_cfg)),
-                          std::to_string(runWith(b.circuit, set,
-                                                 async_cfg))});
-        }
-        table.print();
+void
+runAsyncResynth(CaseContext &ctx)
+{
+    if (ctx.pretty())
+        std::printf("=== Ablation 3: synchronous vs asynchronous "
+                    "resynthesis (paper 5.3) ===\n\n");
+    runSweep(ctx, {"sync", "async"}, [&](std::size_t i) {
+        GuoqSpec spec = ablationSpec(ir::GateSetKind::Ibmq20);
+        spec.cfg.asyncResynthesis = i == 1;
+        return spec;
+    });
+    if (ctx.pretty())
         std::printf("shape check: async keeps rewriting while a "
                     "synthesis call is in flight, so it matches or "
                     "beats sync at equal wall clock.\n");
-    }
-    return 0;
 }
+
+const CaseRegistrar kTemperature(
+    "ablation/temperature", "acceptance temperature sweep (ibmq20)",
+    300, runTemperature);
+const CaseRegistrar kResynthProb(
+    "ablation/resynth-prob",
+    "resynthesis sampling probability sweep (ibmq20)", 301,
+    runResynthProbability);
+const CaseRegistrar kAsync(
+    "ablation/async", "synchronous vs asynchronous resynthesis", 302,
+    runAsyncResynth);
+
+} // namespace
+
+#ifndef GUOQ_BENCH_NO_MAIN
+int
+main()
+{
+    return guoq::bench::legacyMain();
+}
+#endif

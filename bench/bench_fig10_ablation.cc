@@ -7,49 +7,69 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
+#include "bench/registry.h"
+
+namespace {
 
 using namespace guoq;
 using namespace guoq::bench;
 
-int
-main()
+void
+runFig10(CaseContext &ctx)
 {
     const ir::GateSetKind set = ir::GateSetKind::Ibmq20;
-    const double budget = guoqBudget(4.0);
     const core::Objective obj = core::Objective::TwoQubitCount;
-    const auto suite = benchSuiteFor(set, suiteCap(12));
+    const auto suite = benchSuiteFor(set, suiteCap(ctx.opts(), 12));
 
-    std::printf("=== Fig. 10 (Q2): combined vs rewrite-only vs "
-                "resynth-only (ibmq20, 2q reduction) ===\n\n");
+    if (ctx.pretty())
+        std::printf("=== Fig. 10 (Q2): combined vs rewrite-only vs "
+                    "resynth-only (ibmq20, 2q reduction) ===\n\n");
+
+    auto variant = [&ctx, set, obj](core::TransformSelection selection) {
+        GuoqSpec spec;
+        spec.set = set;
+        spec.baseBudgetSeconds = 4.0;
+        spec.cfg.epsilonTotal = 1e-5;
+        spec.cfg.objective = obj;
+        spec.cfg.selection = selection;
+        return [&ctx, spec](const ir::Circuit &c, std::uint64_t seed) {
+            return runGuoq(ctx, spec, c, seed);
+        };
+    };
 
     const std::vector<Tool> tools{
-        {"guoq-rewrite", [set, obj, budget](const ir::Circuit &c,
-                                            std::uint64_t seed) {
-             return runGuoq(c, set, budget, seed, obj,
-                            core::TransformSelection::RewriteOnly);
-         }},
-        {"guoq-resynth", [set, obj, budget](const ir::Circuit &c,
-                                            std::uint64_t seed) {
-             return runGuoq(c, set, budget, seed, obj,
-                            core::TransformSelection::ResynthOnly);
-         }},
+        {"guoq-rewrite",
+         variant(core::TransformSelection::RewriteOnly)},
+        {"guoq-resynth",
+         variant(core::TransformSelection::ResynthOnly)},
     };
+    const Tool guoq{"guoq", variant(core::TransformSelection::Combined)};
 
     Comparison cmp;
     cmp.metricName = "2q gate reduction";
+    cmp.metricKey = "2q_reduction";
     cmp.metric = [](const ir::Circuit &before, const ir::Circuit &after) {
         return reduction(before.twoQubitGateCount(),
                          after.twoQubitGateCount());
     };
-    runComparison(
-        suite,
-        [set, obj, budget](const ir::Circuit &c, std::uint64_t seed) {
-            return runGuoq(c, set, budget, seed, obj);
-        },
-        tools, cmp);
+    runComparison(ctx, suite, guoq, tools, cmp);
 
-    std::printf("shape check: combined >= max(rewrite-only, "
-                "resynth-only) on most benchmarks.\n");
-    return 0;
+    if (ctx.pretty())
+        std::printf("shape check: combined >= max(rewrite-only, "
+                    "resynth-only) on most benchmarks.\n");
 }
+
+const CaseRegistrar kFig10(
+    "fig10", "combined vs rewrite-only vs resynth-only (ibmq20)", 100,
+    runFig10);
+
+} // namespace
+
+#ifndef GUOQ_BENCH_NO_MAIN
+int
+main()
+{
+    return guoq::bench::legacyMain();
+}
+#endif

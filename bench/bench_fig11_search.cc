@@ -8,58 +8,57 @@
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "baselines/beam_search.h"
+#include "bench/harness.h"
+#include "bench/registry.h"
+
+namespace {
 
 using namespace guoq;
 using namespace guoq::bench;
 
-namespace {
-
 /** Half the budget in one mode, then the rest in the other. */
 ir::Circuit
-sequential(const ir::Circuit &c, ir::GateSetKind set, double budget,
+sequential(CaseContext &ctx, const ir::Circuit &c, ir::GateSetKind set,
            std::uint64_t seed, core::TransformSelection first,
            core::TransformSelection second)
 {
-    core::GuoqConfig cfg;
-    cfg.epsilonTotal = 1e-5 / 2;
-    cfg.timeBudgetSeconds = budget / 2;
-    cfg.seed = seed;
-    cfg.objective = core::Objective::TwoQubitCount;
-    cfg.selection = first;
-    if (first == core::TransformSelection::RewriteOnly)
-        cfg.epsilonTotal = 0;
-    const ir::Circuit mid = core::optimize(c, set, cfg).best;
-    cfg.selection = second;
-    cfg.epsilonTotal = second == core::TransformSelection::RewriteOnly
-                           ? 0.0
-                           : 1e-5 / 2;
-    cfg.seed = seed + 1;
-    return core::optimize(mid, set, cfg).best;
+    GuoqSpec spec;
+    spec.set = set;
+    spec.baseBudgetSeconds = 4.0 / 2;
+    spec.cfg.objective = core::Objective::TwoQubitCount;
+    spec.cfg.selection = first;
+    spec.cfg.epsilonTotal =
+        first == core::TransformSelection::RewriteOnly ? 0.0 : 1e-5 / 2;
+    const ir::Circuit mid = runGuoq(ctx, spec, c, seed);
+    spec.cfg.selection = second;
+    spec.cfg.epsilonTotal =
+        second == core::TransformSelection::RewriteOnly ? 0.0
+                                                        : 1e-5 / 2;
+    return runGuoq(ctx, spec, mid, seed + 1);
 }
 
-} // namespace
-
-int
-main()
+void
+runFig11(CaseContext &ctx)
 {
     const ir::GateSetKind set = ir::GateSetKind::Ibmq20;
-    const double budget = guoqBudget(4.0);
-    const auto suite = benchSuiteFor(set, suiteCap(10));
+    const double budget = ctx.budget(4.0);
+    const auto suite = benchSuiteFor(set, suiteCap(ctx.opts(), 10));
 
-    std::printf("=== Fig. 11 (Q3): search algorithm comparison "
-                "(ibmq20, 2q reduction) ===\n\n");
+    if (ctx.pretty())
+        std::printf("=== Fig. 11 (Q3): search algorithm comparison "
+                    "(ibmq20, 2q reduction) ===\n\n");
 
     const std::vector<Tool> tools{
-        {"seq-rw-rs", [set, budget](const ir::Circuit &c,
-                                    std::uint64_t seed) {
-             return sequential(c, set, budget, seed,
+        {"seq-rw-rs", [&ctx, set](const ir::Circuit &c,
+                                  std::uint64_t seed) {
+             return sequential(ctx, c, set, seed,
                                core::TransformSelection::RewriteOnly,
                                core::TransformSelection::ResynthOnly);
          }},
-        {"seq-rs-rw", [set, budget](const ir::Circuit &c,
-                                    std::uint64_t seed) {
-             return sequential(c, set, budget, seed,
+        {"seq-rs-rw", [&ctx, set](const ir::Circuit &c,
+                                  std::uint64_t seed) {
+             return sequential(ctx, c, set, seed,
                                core::TransformSelection::ResynthOnly,
                                core::TransformSelection::RewriteOnly);
          }},
@@ -75,21 +74,40 @@ main()
          }},
     };
 
+    GuoqSpec spec;
+    spec.set = set;
+    spec.baseBudgetSeconds = 4.0;
+    spec.cfg.epsilonTotal = 1e-5;
+    spec.cfg.objective = core::Objective::TwoQubitCount;
+    const Tool guoq{"guoq",
+                    [&ctx, spec](const ir::Circuit &c, std::uint64_t seed) {
+                        return runGuoq(ctx, spec, c, seed);
+                    }};
+
     Comparison cmp;
     cmp.metricName = "2q gate reduction";
+    cmp.metricKey = "2q_reduction";
     cmp.metric = [](const ir::Circuit &before, const ir::Circuit &after) {
         return reduction(before.twoQubitGateCount(),
                          after.twoQubitGateCount());
     };
-    runComparison(
-        suite,
-        [set, budget](const ir::Circuit &c, std::uint64_t seed) {
-            return runGuoq(c, set, budget, seed,
-                           core::Objective::TwoQubitCount);
-        },
-        tools, cmp);
+    runComparison(ctx, suite, guoq, tools, cmp);
 
-    std::printf("shape check: tight interleaving (guoq) beats both "
-                "coarse sequential orders and the beam.\n");
-    return 0;
+    if (ctx.pretty())
+        std::printf("shape check: tight interleaving (guoq) beats both "
+                    "coarse sequential orders and the beam.\n");
 }
+
+const CaseRegistrar kFig11(
+    "fig11", "interleaving vs sequential vs beam (ibmq20)", 110,
+    runFig11);
+
+} // namespace
+
+#ifndef GUOQ_BENCH_NO_MAIN
+int
+main()
+{
+    return guoq::bench::legacyMain();
+}
+#endif

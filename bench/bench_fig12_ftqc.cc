@@ -4,23 +4,43 @@
  * (instantiated with the Synthetiq-style finite synthesizer) vs
  * Qiskit-like, BQSKit-style partition+Synthetiq, a Synthetiq-only
  * optimizer (resynth-only GUOQ), QUESO-like beam, and the PyZX
- * stand-in. Top row: T-gate reduction; bottom row: 2q (CX) reduction.
+ * stand-in. Two cases: "fig12/t" (T-gate reduction, top row) and
+ * "fig12/2q" (CX reduction, bottom row).
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "baselines/beam_search.h"
+#include "baselines/fixed_sequence.h"
+#include "baselines/partition_resynth.h"
+#include "baselines/phase_poly.h"
+#include "bench/harness.h"
+#include "bench/registry.h"
+
+namespace {
 
 using namespace guoq;
 using namespace guoq::bench;
 
-int
-main()
+void
+runFig12(CaseContext &ctx, const Comparison &cmp, const char *header)
 {
     const ir::GateSetKind set = ir::GateSetKind::CliffordT;
-    const double budget = guoqBudget(3.0);
+    const double budget = ctx.budget(3.0);
     const core::Objective obj = core::Objective::TThenTwoQubit;
-    const auto suite = benchSuiteFor(set, suiteCap(12));
+    const auto suite = benchSuiteFor(set, suiteCap(ctx.opts(), 12));
+
+    if (ctx.pretty())
+        std::printf("=== %s ===\n\n", header);
+
+    GuoqSpec spec;
+    spec.set = set;
+    spec.baseBudgetSeconds = 3.0;
+    spec.cfg.epsilonTotal = 1e-5;
+    spec.cfg.objective = obj;
+
+    GuoqSpec synthetiq = spec;
+    synthetiq.cfg.selection = core::TransformSelection::ResynthOnly;
 
     const std::vector<Tool> tools{
         {"qiskit", [set](const ir::Circuit &c, std::uint64_t) {
@@ -32,10 +52,9 @@ main()
                                                 budget, seed)
                  .circuit;
          }},
-        {"synthetiq", [set, obj, budget](const ir::Circuit &c,
-                                         std::uint64_t seed) {
-             return runGuoq(c, set, budget, seed, obj,
-                            core::TransformSelection::ResynthOnly);
+        {"synthetiq", [&ctx, synthetiq](const ir::Circuit &c,
+                                        std::uint64_t seed) {
+             return runGuoq(ctx, synthetiq, c, seed);
          }},
         {"queso", [set, obj, budget](const ir::Circuit &c,
                                      std::uint64_t seed) {
@@ -52,31 +71,56 @@ main()
          }},
     };
 
-    auto guoq_run = [set, obj, budget](const ir::Circuit &c,
-                                       std::uint64_t seed) {
-        return runGuoq(c, set, budget, seed, obj);
-    };
+    const Tool guoq{"guoq",
+                    [&ctx, spec](const ir::Circuit &c, std::uint64_t seed) {
+                        return runGuoq(ctx, spec, c, seed);
+                    }};
 
-    std::printf("=== Fig. 12 (top): T gate reduction, clifford+t ===\n\n");
-    Comparison tred;
-    tred.metricName = "T gate reduction";
-    tred.metric = [](const ir::Circuit &before, const ir::Circuit &after) {
+    runComparison(ctx, suite, guoq, tools, cmp);
+}
+
+void
+runFig12T(CaseContext &ctx)
+{
+    Comparison cmp;
+    cmp.metricName = "T gate reduction";
+    cmp.metricKey = "t_reduction";
+    cmp.metric = [](const ir::Circuit &before, const ir::Circuit &after) {
         return reduction(before.tGateCount(), after.tGateCount());
     };
-    runComparison(suite, guoq_run, tools, tred);
+    runFig12(ctx, cmp, "Fig. 12 (top): T gate reduction, clifford+t");
+}
 
-    std::printf("=== Fig. 12 (bottom): 2q (CX) reduction, "
-                "clifford+t ===\n\n");
-    Comparison cxred;
-    cxred.metricName = "2q gate reduction";
-    cxred.metric = [](const ir::Circuit &before,
-                      const ir::Circuit &after) {
+void
+runFig12TwoQubit(CaseContext &ctx)
+{
+    Comparison cmp;
+    cmp.metricName = "2q gate reduction";
+    cmp.metricKey = "2q_reduction";
+    cmp.metric = [](const ir::Circuit &before, const ir::Circuit &after) {
         return reduction(before.twoQubitGateCount(),
                          after.twoQubitGateCount());
     };
-    runComparison(suite, guoq_run, tools, cxred);
-
-    std::printf("shape check: pyzx competes on T reduction but never "
-                "reduces CX; guoq wins CX reduction broadly.\n");
-    return 0;
+    runFig12(ctx, cmp,
+             "Fig. 12 (bottom): 2q (CX) reduction, clifford+t");
+    if (ctx.pretty())
+        std::printf("shape check: pyzx competes on T reduction but "
+                    "never reduces CX; guoq wins CX reduction "
+                    "broadly.\n");
 }
+
+const CaseRegistrar kFig12T(
+    "fig12/t", "GUOQ vs tools, clifford+t T reduction", 120, runFig12T);
+const CaseRegistrar kFig12TwoQubit(
+    "fig12/2q", "GUOQ vs tools, clifford+t CX reduction", 121,
+    runFig12TwoQubit);
+
+} // namespace
+
+#ifndef GUOQ_BENCH_NO_MAIN
+int
+main()
+{
+    return guoq::bench::legacyMain();
+}
+#endif

@@ -5,19 +5,25 @@
  * suite composition summary.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <map>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
+#include "bench/registry.h"
+
+namespace {
 
 using namespace guoq;
+using namespace guoq::bench;
 
-int
-main()
+void
+runFig15(CaseContext &ctx)
 {
-    std::printf("=== Fig. 15: suite total gate counts per gate set "
-                "(log-scale buckets) ===\n\n");
+    if (ctx.pretty())
+        std::printf("=== Fig. 15: suite total gate counts per gate set "
+                    "(log-scale buckets) ===\n\n");
 
     for (ir::GateSetKind set : ir::allGateSets()) {
         const auto suite = workloads::suiteFor(set);
@@ -35,9 +41,26 @@ main()
                              static_cast<std::size_t>(
                                  b.circuit.numQubits()));
         }
+        const std::string set_name = ir::gateSetName(set);
+        auto suiteRow = [&](const std::string &metric, double value) {
+            CaseResult row;
+            row.benchmark = set_name;
+            row.tool = "suite";
+            row.metric = metric;
+            row.value = value;
+            ctx.record(std::move(row));
+        };
+        suiteRow("circuits", static_cast<double>(suite.size()));
+        suiteRow("min_qubits", static_cast<double>(min_q));
+        suiteRow("max_qubits", static_cast<double>(max_q));
+        for (const auto &[bucket, count] : hist)
+            suiteRow("bucket_" + std::to_string(bucket),
+                     static_cast<double>(count));
+
+        if (!ctx.pretty())
+            continue;
         std::printf("%-11s (%zu circuits, %zu-%zu qubits)\n",
-                    ir::gateSetName(set).c_str(), suite.size(), min_q,
-                    max_q);
+                    set_name.c_str(), suite.size(), min_q, max_q);
         for (const auto &[bucket, count] : hist) {
             const double lo = std::pow(10.0, bucket / 2.0);
             std::printf("  >= %6.0f gates: ", lo);
@@ -48,11 +71,32 @@ main()
         std::printf("\n");
     }
 
-    std::printf("per-family composition of the generic suite:\n");
+    if (ctx.pretty())
+        std::printf("per-family composition of the generic suite:\n");
     std::map<std::string, int> families;
     for (const auto &b : workloads::standardSuite())
         ++families[b.family];
-    for (const auto &[family, count] : families)
-        std::printf("  %-12s %d\n", family.c_str(), count);
-    return 0;
+    for (const auto &[family, count] : families) {
+        CaseResult row;
+        row.benchmark = family;
+        row.tool = "suite";
+        row.metric = "family_count";
+        row.value = count;
+        ctx.record(std::move(row));
+        if (ctx.pretty())
+            std::printf("  %-12s %d\n", family.c_str(), count);
+    }
 }
+
+const CaseRegistrar kFig15(
+    "fig15", "benchmark suite composition per gate set", 150, runFig15);
+
+} // namespace
+
+#ifndef GUOQ_BENCH_NO_MAIN
+int
+main()
+{
+    return guoq::bench::legacyMain();
+}
+#endif

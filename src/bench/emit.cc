@@ -1,0 +1,189 @@
+#include "bench/emit.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+
+namespace guoq {
+namespace bench {
+
+namespace {
+
+/** A JSON number token; non-finite becomes null (JSON has no NaN). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    return buf;
+}
+
+std::string
+csvNumber(double v)
+{
+    // Mirror the JSON emitter's null: an empty field rather than a
+    // platform-spelled "nan"/"inf" token numeric CSV readers trip on.
+    if (!std::isfinite(v))
+        return "";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    return buf;
+}
+
+std::string
+u64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char ch : s) {
+        const unsigned char c = static_cast<unsigned char>(ch);
+        switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+toJson(const RunMeta &meta, const std::vector<CaseResult> &results)
+{
+    // Sequential appends rather than operator+ chains: GCC 12's
+    // -Werror=restrict misfires on `const char * + std::string &&`.
+    std::string out;
+    auto str = [&out](const char *key, const std::string &v,
+                      const char *indent) {
+        out += indent;
+        out += key;
+        out += ": \"";
+        out += jsonEscape(v);
+        out += "\"";
+    };
+    auto num = [&out](const char *key, const std::string &v,
+                      const char *indent) {
+        out += indent;
+        out += key;
+        out += ": ";
+        out += v;
+    };
+    out += "{\n";
+    out += "  \"schema\": \"guoq-bench-v1\",\n";
+    out += "  \"run\": {\n";
+    num("\"scale\"", jsonNumber(meta.scale), "    ");
+    out += ",\n";
+    num("\"trials\"", std::to_string(meta.trials), "    ");
+    out += ",\n";
+    num("\"seed\"", u64(meta.seed), "    ");
+    out += ",\n";
+    num("\"threads\"", std::to_string(meta.threads), "    ");
+    out += ",\n";
+    out += "    \"cases\": [";
+    for (std::size_t i = 0; i < meta.cases.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "\"";
+        out += jsonEscape(meta.cases[i]);
+        out += "\"";
+    }
+    out += "]\n";
+    out += "  },\n";
+    out += "  \"results\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CaseResult &r = results[i];
+        out += i ? ",\n    {\n" : "\n    {\n";
+        str("\"case\"", r.caseId, "      ");
+        out += ",\n";
+        str("\"benchmark\"", r.benchmark, "      ");
+        out += ",\n";
+        str("\"tool\"", r.tool, "      ");
+        out += ",\n";
+        str("\"metric\"", r.metric, "      ");
+        out += ",\n";
+        num("\"value\"", jsonNumber(r.value), "      ");
+        out += ",\n";
+        num("\"seconds\"", jsonNumber(r.seconds), "      ");
+        out += ",\n";
+        num("\"trial\"", std::to_string(r.trial), "      ");
+        out += ",\n";
+        num("\"seed\"", u64(r.seed), "      ");
+        out += ",\n";
+        out += "      \"workers\": [";
+        for (std::size_t w = 0; w < r.workerSeconds.size(); ++w) {
+            if (w)
+                out += ", ";
+            out += jsonNumber(r.workerSeconds[w]);
+        }
+        out += "]\n";
+        out += "    }";
+    }
+    out += results.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
+toCsv(const std::vector<CaseResult> &results)
+{
+    std::string out =
+        "case,benchmark,tool,metric,value,seconds,trial,seed,workers\n";
+    for (const CaseResult &r : results) {
+        std::string workers;
+        for (std::size_t w = 0; w < r.workerSeconds.size(); ++w) {
+            if (w)
+                workers += ';';
+            workers += csvNumber(r.workerSeconds[w]);
+        }
+        const std::string fields[] = {
+            csvField(r.caseId),    csvField(r.benchmark),
+            csvField(r.tool),      csvField(r.metric),
+            csvNumber(r.value),    csvNumber(r.seconds),
+            std::to_string(r.trial), u64(r.seed),
+            csvField(workers)};
+        for (std::size_t f = 0; f < std::size(fields); ++f) {
+            if (f)
+                out += ',';
+            out += fields[f];
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace bench
+} // namespace guoq

@@ -1,0 +1,219 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "bench/registry.h"
+#include "support/options.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace guoq {
+namespace bench {
+
+RunOptions
+RunOptions::fromEnv()
+{
+    RunOptions opts;
+    opts.scale = support::benchScale();
+    opts.trials = support::benchTrials();
+    opts.seed = support::benchSeed();
+    opts.threads = support::benchThreads();
+    return opts;
+}
+
+core::PortfolioResult
+runGuoqPortfolio(CaseContext &ctx, const GuoqSpec &spec,
+                 const ir::Circuit &c, std::uint64_t seed)
+{
+    core::PortfolioConfig pcfg;
+    pcfg.base = spec.cfg;
+    pcfg.base.seed = seed;
+    pcfg.base.timeBudgetSeconds = ctx.budget(spec.baseBudgetSeconds);
+    pcfg.threads = ctx.opts().threads;
+    core::PortfolioResult r = core::optimizePortfolio(c, spec.set, pcfg);
+    std::vector<double> worker_seconds;
+    if (pcfg.threads > 1) {
+        worker_seconds.reserve(r.workers.size());
+        for (const core::PortfolioWorkerReport &w : r.workers)
+            worker_seconds.push_back(w.wallSeconds);
+    }
+    ctx.stashWorkerSeconds(worker_seconds);
+    return r;
+}
+
+ir::Circuit
+runGuoq(CaseContext &ctx, const GuoqSpec &spec, const ir::Circuit &c,
+        std::uint64_t seed)
+{
+    return runGuoqPortfolio(ctx, spec, c, seed).best;
+}
+
+void
+runComparison(CaseContext &ctx,
+              const std::vector<workloads::Benchmark> &suite,
+              const Tool &guoq, const std::vector<Tool> &tools,
+              const Comparison &cmp)
+{
+    const RunOptions &opts = ctx.opts();
+    std::vector<std::string> headers{"benchmark", "gates", guoq.name};
+    for (const Tool &t : tools)
+        headers.push_back(t.name);
+    support::TextTable table(std::move(headers));
+
+    std::vector<support::CompareCounts> counts(tools.size());
+    double guoq_sum = 0.0;
+    std::vector<double> tool_sum(tools.size(), 0.0);
+
+    // Runs one (benchmark, tool) cell: opts.trials runs, one row each,
+    // returning the across-trial mean the table and bars summarize.
+    auto runCell = [&](const Tool &tool,
+                       const workloads::Benchmark &b) -> double {
+        double sum = 0.0;
+        for (int t = 0; t < opts.trials; ++t) {
+            const std::uint64_t seed = opts.trialSeed(t);
+            support::Timer timer;
+            const ir::Circuit out = tool.run(b.circuit, seed);
+            const double seconds = timer.seconds();
+            const double m = cmp.metric(b.circuit, out);
+            sum += m;
+            CaseResult row;
+            row.benchmark = b.name;
+            row.tool = tool.name;
+            row.metric = cmp.metricKey;
+            row.value = m;
+            row.seconds = seconds;
+            row.trial = t;
+            row.seed = seed;
+            row.workerSeconds = ctx.takeWorkerSeconds();
+            ctx.record(std::move(row));
+        }
+        return sum / static_cast<double>(opts.trials);
+    };
+
+    for (const workloads::Benchmark &b : suite) {
+        const double guoq_mean = runCell(guoq, b);
+        guoq_sum += guoq_mean;
+        std::vector<std::string> row{b.name,
+                                     std::to_string(b.circuit.size()),
+                                     support::fmtPct(guoq_mean)};
+        for (std::size_t t = 0; t < tools.size(); ++t) {
+            const double m = runCell(tools[t], b);
+            tool_sum[t] += m;
+            counts[t].add(support::compareMeans(guoq_mean, m, 1e-6));
+            row.push_back(support::fmtPct(m));
+        }
+        table.addRow(std::move(row));
+    }
+
+    const double n = static_cast<double>(suite.size());
+    auto aggregate = [&](const std::string &tool,
+                         const std::string &metric, double value) {
+        CaseResult row;
+        row.benchmark = "*";
+        row.tool = tool;
+        row.metric = metric;
+        row.value = value;
+        row.seed = opts.seed;
+        ctx.record(std::move(row));
+    };
+    if (n > 0)
+        aggregate(guoq.name, cmp.metricKey + "_avg", guoq_sum / n);
+    for (std::size_t t = 0; t < tools.size(); ++t) {
+        if (n > 0)
+            aggregate(tools[t].name, cmp.metricKey + "_avg",
+                      tool_sum[t] / n);
+        aggregate(tools[t].name, "better", counts[t].better);
+        aggregate(tools[t].name, "match", counts[t].match);
+        aggregate(tools[t].name, "worse", counts[t].worse);
+    }
+
+    if (!ctx.pretty())
+        return;
+    table.print();
+    if (suite.empty())
+        return; // no bars (and no nan% averages) over zero benchmarks
+    std::printf("\n%s, GUOQ vs each tool "
+                "(better/match/worse out of %zu):\n",
+                cmp.metricName.c_str(), suite.size());
+    for (std::size_t t = 0; t < tools.size(); ++t) {
+        std::printf("  %-14s %3d / %3d / %3d   "
+                    "(avg: guoq %s vs %s)\n",
+                    tools[t].name.c_str(), counts[t].better,
+                    counts[t].match, counts[t].worse,
+                    support::fmtPct(guoq_sum / n).c_str(),
+                    support::fmtPct(tool_sum[t] / n).c_str());
+    }
+    std::printf("\n");
+}
+
+int
+suiteCap(const RunOptions &opts, int base)
+{
+    if (opts.scale >= 4)
+        return 1 << 20; // full suite
+    return base;
+}
+
+std::vector<workloads::Benchmark>
+benchSuiteFor(ir::GateSetKind set, int cap, std::size_t min_gates)
+{
+    std::vector<workloads::Benchmark> full = workloads::suiteFor(set);
+    std::vector<workloads::Benchmark> sized;
+    for (workloads::Benchmark &b : full)
+        if (b.circuit.size() >= min_gates)
+            sized.push_back(std::move(b));
+    std::stable_sort(sized.begin(), sized.end(),
+                     [](const workloads::Benchmark &a,
+                        const workloads::Benchmark &b) {
+                         return a.circuit.size() < b.circuit.size();
+                     });
+    // Family round-robin so a truncated panel stays diverse; each
+    // benchmark is taken at most once.
+    std::vector<bool> used(sized.size(), false);
+    std::vector<workloads::Benchmark> out;
+    bool any = true;
+    while (any && static_cast<int>(out.size()) < cap) {
+        any = false;
+        std::set<std::string> this_round;
+        for (std::size_t i = 0;
+             i < sized.size() && static_cast<int>(out.size()) < cap;
+             ++i) {
+            if (used[i] || this_round.count(sized[i].family))
+                continue;
+            used[i] = true;
+            this_round.insert(sized[i].family);
+            out.push_back(sized[i]);
+            any = true;
+        }
+    }
+    return out;
+}
+
+std::vector<CaseResult>
+runCases(const std::vector<const BenchCase *> &cases,
+         const RunOptions &opts)
+{
+    std::vector<CaseResult> results;
+    for (const BenchCase *c : cases) {
+        CaseContext ctx(opts, c->id, results);
+        c->fn(ctx);
+    }
+    return results;
+}
+
+int
+legacyMain()
+{
+    const RunOptions opts = RunOptions::fromEnv();
+    // A legacy binary registered only its own cases, so "all" is
+    // exactly the figure this binary regenerates.
+    runCases(Registry::instance().matching({}), opts);
+    return 0;
+}
+
+} // namespace bench
+} // namespace guoq

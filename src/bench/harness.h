@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The unified benchmark harness behind every per-figure case: run
+ * options, structured per-row results, and the shared runners.
+ *
+ * The legacy harnesses were single-process, serial, print-only
+ * binaries. This subsystem routes every GUOQ invocation through
+ * core::optimizePortfolio (threads/seed/trials/budget scale come from
+ * GUOQ_BENCH_* env vars or the guoq_bench flags), and cases record
+ * flat (case, benchmark, tool, metric, value) rows that emit.h
+ * serializes to JSON/CSV — the machine-readable perf trajectory the
+ * print-only binaries never produced.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/portfolio.h"
+#include "ir/circuit.h"
+#include "ir/gate_set.h"
+#include "workloads/suite.h"
+
+namespace guoq {
+namespace bench {
+
+/** Options for one runner invocation (env defaults, flag overrides). */
+struct RunOptions
+{
+    double scale = 1.0;        //!< multiplies every search budget
+    int trials = 1;            //!< repetitions per experiment cell
+    std::uint64_t seed = 12345; //!< base seed; trial t uses seed + t
+    int threads = 1;           //!< portfolio workers per GUOQ call
+    bool pretty = true;        //!< print the paper-style tables
+
+    /** Defaults from GUOQ_BENCH_{SCALE,TRIALS,SEED,THREADS}. */
+    static RunOptions fromEnv();
+
+    /** A per-run budget: @p base seconds scaled by `scale`. */
+    double
+    budget(double base) const
+    {
+        return base * scale;
+    }
+
+    /** The seed for trial @p trial of any experiment cell. */
+    std::uint64_t
+    trialSeed(int trial) const
+    {
+        return seed + static_cast<std::uint64_t>(trial);
+    }
+};
+
+/** One structured result row, the unit the emitters serialize. */
+struct CaseResult
+{
+    std::string caseId;    //!< e.g. "fig1" (stamped by CaseContext)
+    std::string benchmark; //!< circuit name, or "*" for aggregates
+    std::string tool;      //!< "guoq", "qiskit", a knob label, ...
+    std::string metric;    //!< e.g. "2q_reduction", "final_2q"
+    double value = 0;
+    double seconds = 0;    //!< wall seconds of the producing run
+    int trial = 0;
+    std::uint64_t seed = 0;
+    /** Per-worker wall seconds when the row came from a multi-thread
+     *  portfolio run (empty otherwise). */
+    std::vector<double> workerSeconds;
+};
+
+/**
+ * Per-case recorder handed to every registered case: stamps rows with
+ * the case id and carries the run options. Also ferries the per-worker
+ * timings of portfolio runs from runGuoq() to whichever helper records
+ * the row for them: each run appends its workers (so a tool built from
+ * several GUOQ phases, like fig11's sequential halves, reports all of
+ * them), and takeWorkerSeconds() clears the stash so timings can never
+ * attach to a later row.
+ */
+class CaseContext
+{
+  public:
+    CaseContext(const RunOptions &opts, std::string case_id,
+                std::vector<CaseResult> &sink)
+        : opts_(opts), caseId_(std::move(case_id)), sink_(sink)
+    {
+    }
+
+    const RunOptions &opts() const { return opts_; }
+    bool pretty() const { return opts_.pretty; }
+    double budget(double base) const { return opts_.budget(base); }
+
+    /** Record one row (fills in the case id). */
+    void
+    record(CaseResult r)
+    {
+        r.caseId = caseId_;
+        sink_.push_back(std::move(r));
+    }
+
+    /** Append one portfolio run's per-worker timings to the stash. */
+    void
+    stashWorkerSeconds(const std::vector<double> &ws)
+    {
+        workerSeconds_.insert(workerSeconds_.end(), ws.begin(),
+                              ws.end());
+    }
+
+    /** Take (and clear) the stashed per-worker timings. */
+    std::vector<double>
+    takeWorkerSeconds()
+    {
+        std::vector<double> out = std::move(workerSeconds_);
+        workerSeconds_.clear();
+        return out;
+    }
+
+  private:
+    const RunOptions &opts_;
+    std::string caseId_;
+    std::vector<CaseResult> &sink_;
+    std::vector<double> workerSeconds_;
+};
+
+/** A registered case body. */
+using CaseFn = std::function<void(CaseContext &)>;
+
+/**
+ * 1 - after/before, the paper's gate-reduction metric. A before == 0
+ * baseline has nothing to reduce: growth from it is reported as a
+ * negative signed value (minus the gates added) rather than the silent
+ * 0 the old harness returned, so a tool that adds gates to an empty
+ * baseline can no longer score as break-even.
+ */
+inline double
+reduction(std::size_t before, std::size_t after)
+{
+    if (before == 0)
+        return after == 0 ? 0.0 : -static_cast<double>(after);
+    return 1.0 -
+           static_cast<double>(after) / static_cast<double>(before);
+}
+
+/**
+ * One GUOQ configuration a case runs per (circuit, seed) cell. The
+ * seed and wall-clock budget of `cfg` are overwritten per invocation:
+ * the budget is baseBudgetSeconds scaled by RunOptions::scale.
+ */
+struct GuoqSpec
+{
+    ir::GateSetKind set = ir::GateSetKind::Nam;
+    core::GuoqConfig cfg;
+    double baseBudgetSeconds = 3.0;
+};
+
+/**
+ * Route one GUOQ invocation through core::optimizePortfolio with the
+ * context's thread count, and stash the per-worker wall timings for
+ * the next recorded row. threads == 1 reproduces core::optimize()
+ * bit-for-bit, so legacy printed numbers are preserved by default.
+ */
+core::PortfolioResult runGuoqPortfolio(CaseContext &ctx,
+                                       const GuoqSpec &spec,
+                                       const ir::Circuit &c,
+                                       std::uint64_t seed);
+
+/** runGuoqPortfolio, keeping only the best circuit. */
+ir::Circuit runGuoq(CaseContext &ctx, const GuoqSpec &spec,
+                    const ir::Circuit &c, std::uint64_t seed);
+
+/** A tool entry: name plus a circuit optimizer closure. */
+struct Tool
+{
+    std::string name;
+    std::function<ir::Circuit(const ir::Circuit &, std::uint64_t seed)>
+        run;
+};
+
+/** The metric of a head-to-head comparison. */
+struct Comparison
+{
+    std::string metricName; //!< display name, e.g. "2q gate reduction"
+    std::string metricKey;  //!< row key, e.g. "2q_reduction"
+    std::function<double(const ir::Circuit &before,
+                         const ir::Circuit &after)>
+        metric;
+};
+
+/**
+ * Head-to-head comparison on a suite: runs @p guoq and each tool on
+ * every benchmark for opts().trials trials, records one row per
+ * (benchmark, tool, trial) plus per-tool better/match/worse and
+ * average aggregates, and (pretty mode) prints the per-benchmark table
+ * and the paper-style bars. Table cells show the across-trial mean.
+ */
+void runComparison(CaseContext &ctx,
+                   const std::vector<workloads::Benchmark> &suite,
+                   const Tool &guoq, const std::vector<Tool> &tools,
+                   const Comparison &cmp);
+
+/** Suite size used by the harnesses (full suite when scale >= 4). */
+int suiteCap(const RunOptions &opts, int base);
+
+/**
+ * The harness suite: suiteFor(@p set) filtered to circuits with
+ * enough gates to have optimization slack (tiny GHZ-scale circuits
+ * only produce ties), family-diverse, capped at @p cap entries.
+ */
+std::vector<workloads::Benchmark>
+benchSuiteFor(ir::GateSetKind set, int cap, std::size_t min_gates = 30);
+
+struct BenchCase;
+
+/** Run @p cases in order under @p opts; returns all recorded rows. */
+std::vector<CaseResult> runCases(const std::vector<const BenchCase *> &cases,
+                                 const RunOptions &opts);
+
+/**
+ * Entry point for the legacy per-figure binaries: run every case the
+ * binary registered, env-configured, pretty tables to stdout.
+ */
+int legacyMain();
+
+} // namespace bench
+} // namespace guoq

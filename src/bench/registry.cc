@@ -1,0 +1,83 @@
+#include "bench/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace guoq {
+namespace bench {
+
+Registry &
+Registry::instance()
+{
+    // Function-local static: safe against static-init ordering across
+    // the registrar translation units.
+    static Registry registry;
+    return registry;
+}
+
+void
+Registry::add(BenchCase c)
+{
+    cases_.push_back(std::move(c));
+}
+
+namespace {
+
+/** Exact id, or a whole leading path component ("fig12" matches
+ *  "fig12/t" but not "fig120"). */
+bool
+exactOrComponentPrefix(const std::string &id, const std::string &f)
+{
+    if (id == f)
+        return true;
+    return id.size() > f.size() && id.compare(0, f.size(), f) == 0 &&
+           id[f.size()] == '/';
+}
+
+} // namespace
+
+std::vector<const BenchCase *>
+Registry::matching(const std::vector<std::string> &filters) const
+{
+    // Per filter: component-aware matching first, so "fig1" selects
+    // fig1 alone rather than fig10..fig15; only a filter that selects
+    // nothing that way falls back to substring matching (so
+    // "fidelity" still finds fig8/fidelity and fig9/fidelity).
+    std::vector<bool> hit(cases_.size(), filters.empty());
+    for (const std::string &f : filters) {
+        bool any = false;
+        for (std::size_t i = 0; i < cases_.size(); ++i)
+            if (exactOrComponentPrefix(cases_[i].id, f)) {
+                hit[i] = true;
+                any = true;
+            }
+        if (any)
+            continue;
+        for (std::size_t i = 0; i < cases_.size(); ++i)
+            if (cases_[i].id.find(f) != std::string::npos)
+                hit[i] = true;
+    }
+    std::vector<const BenchCase *> out;
+    for (std::size_t i = 0; i < cases_.size(); ++i)
+        if (hit[i])
+            out.push_back(&cases_[i]);
+    // Registration order across translation units is link-dependent;
+    // the explicit order key restores the paper's figure sequence.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const BenchCase *a, const BenchCase *b) {
+                         return a->order != b->order
+                                    ? a->order < b->order
+                                    : a->id < b->id;
+                     });
+    return out;
+}
+
+CaseRegistrar::CaseRegistrar(std::string id, std::string title, int order,
+                             CaseFn fn)
+{
+    Registry::instance().add(
+        {std::move(id), std::move(title), order, std::move(fn)});
+}
+
+} // namespace bench
+} // namespace guoq

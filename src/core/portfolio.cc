@@ -80,6 +80,7 @@ runWorker(int worker, const ir::Circuit &input, ir::GateSetKind set,
           const CostFunction &cost, SharedBest &shared,
           PortfolioWorkerReport &report)
 {
+    support::Timer worker_timer;
     support::Rng seeder(portfolioWorkerSeed(cfg.base.seed, worker));
     report.worker = worker;
     report.seed = portfolioWorkerSeed(cfg.base.seed, worker);
@@ -138,6 +139,7 @@ runWorker(int worker, const ir::Circuit &input, ir::GateSetKind set,
 
     report.finalCost = cost(curr);
     report.errorBound = error_curr;
+    report.wallSeconds = worker_timer.seconds();
 }
 
 } // namespace
@@ -174,14 +176,16 @@ optimizePortfolio(const ir::Circuit &c, ir::GateSetKind set,
         result.errorBound = r.errorBound;
         result.winningWorker = 0;
         result.stats = r.stats;
+        result.trace = std::move(r.trace);
         PortfolioWorkerReport report;
         report.worker = 0;
         report.seed = cfg.base.seed;
         report.finalCost = result.bestCost;
         report.errorBound = r.errorBound;
         report.stats = r.stats;
-        result.workers.push_back(std::move(report));
         result.stats.seconds = timer.seconds();
+        report.wallSeconds = result.stats.seconds;
+        result.workers.push_back(std::move(report));
         return result;
     }
 

@@ -65,6 +65,9 @@ struct PortfolioWorkerReport
     std::uint64_t seed = 0;   //!< seed of the worker's first slice
     double finalCost = 0;     //!< cost of the worker's last circuit
     double errorBound = 0;    //!< accumulated ε of that circuit
+    double wallSeconds = 0;   //!< worker wall-clock time, thread start
+                              //!< to join (the benchmark emitters
+                              //!< report per-worker timing from this)
     GuoqStats stats;          //!< summed over the worker's slices
 };
 
@@ -78,6 +81,13 @@ struct PortfolioResult
     GuoqStats stats;         //!< merged: counters summed over workers,
                              //!< `seconds` = portfolio wall-clock time
     std::vector<PortfolioWorkerReport> workers;
+    /**
+     * Best-cost-over-time trace when cfg.base.recordTrace is set and
+     * threads == 1 (the single optimize() run's trace). A multi-worker
+     * portfolio has no single search trajectory, so the trace stays
+     * empty there.
+     */
+    std::vector<TracePoint> trace;
 };
 
 /** The seed worker @p worker uses for its first slice. */

@@ -52,8 +52,9 @@ int
 benchTrials()
 {
     // Same guard as benchScale(): zero trials would make every
-    // experiment cell silently empty.
-    const int trials = envInt("GUOQ_BENCH_TRIALS", 3);
+    // experiment cell silently empty. Default 1 so the default runner
+    // cost matches the legacy single-run harness binaries.
+    const int trials = envInt("GUOQ_BENCH_TRIALS", 1);
     return trials < 1 ? 1 : trials;
 }
 
@@ -61,6 +62,15 @@ std::uint64_t
 benchSeed()
 {
     return static_cast<std::uint64_t>(envInt("GUOQ_BENCH_SEED", 12345));
+}
+
+int
+benchThreads()
+{
+    const int threads = envInt("GUOQ_BENCH_THREADS", 1);
+    if (threads < 1)
+        return 1;
+    return threads > 1024 ? 1024 : threads;
 }
 
 } // namespace support

@@ -6,9 +6,10 @@
  * CI, so the harnesses read a global scale factor and per-run budgets
  * from the environment:
  *
- *   GUOQ_BENCH_SCALE   multiply all search budgets (default 1.0)
- *   GUOQ_BENCH_TRIALS  trials per (circuit, tool) pair (default 3)
- *   GUOQ_BENCH_SEED    base RNG seed (default 12345)
+ *   GUOQ_BENCH_SCALE    multiply all search budgets (default 1.0)
+ *   GUOQ_BENCH_TRIALS   trials per (circuit, tool) pair (default 1)
+ *   GUOQ_BENCH_SEED     base RNG seed (default 12345)
+ *   GUOQ_BENCH_THREADS  portfolio workers per GUOQ call (default 1)
  */
 
 #pragma once
@@ -36,6 +37,13 @@ int benchTrials();
 
 /** Base seed for the harnesses (GUOQ_BENCH_SEED). */
 std::uint64_t benchSeed();
+
+/**
+ * Portfolio worker threads per GUOQ invocation in the harnesses
+ * (GUOQ_BENCH_THREADS), clamped to [1, 1024]. 1 (the default) keeps
+ * every GUOQ run bit-for-bit identical to a serial core::optimize().
+ */
+int benchThreads();
 
 } // namespace support
 } // namespace guoq

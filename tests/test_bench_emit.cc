@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the benchmark subsystem: the fixed signed reduction()
+ * metric, the case registry, and golden-file JSON/CSV emission with a
+ * CSV round-trip through a minimal RFC-4180 parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/emit.h"
+#include "bench/harness.h"
+#include "bench/registry.h"
+
+namespace guoq {
+namespace {
+
+using bench::CaseResult;
+
+TEST(BenchReduction, ReportsSignedGrowth)
+{
+    EXPECT_DOUBLE_EQ(bench::reduction(100, 75), 0.25);
+    EXPECT_DOUBLE_EQ(bench::reduction(4, 4), 0.0);
+    EXPECT_DOUBLE_EQ(bench::reduction(10, 15), -0.5);
+    // The old harness reported 0 for a circuit that grew from an empty
+    // baseline; growth must be visible (and negative).
+    EXPECT_DOUBLE_EQ(bench::reduction(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(bench::reduction(0, 5), -5.0);
+    EXPECT_LT(bench::reduction(0, 1), bench::reduction(0, 0));
+}
+
+TEST(BenchRunOptions, BudgetAndTrialSeeds)
+{
+    bench::RunOptions opts;
+    opts.scale = 0.5;
+    opts.seed = 100;
+    EXPECT_DOUBLE_EQ(opts.budget(8.0), 4.0);
+    EXPECT_EQ(opts.trialSeed(0), 100u);
+    EXPECT_EQ(opts.trialSeed(3), 103u);
+}
+
+TEST(BenchRegistry, MatchesComponentsThenSubstringsInCanonicalOrder)
+{
+    auto noop = [](bench::CaseContext &) {};
+    bench::Registry::instance().add(
+        {"zzt/second", "second", 9002, noop});
+    bench::Registry::instance().add({"zzt/first", "first", 9001, noop});
+    bench::Registry::instance().add({"zzt2", "other", 9003, noop});
+
+    // Component-aware: "zzt" selects zzt/* but NOT zzt2 (the fig1 vs
+    // fig10..fig15 precision problem).
+    const auto both = bench::Registry::instance().matching({"zzt"});
+    ASSERT_EQ(both.size(), 2u);
+    EXPECT_EQ(both[0]->id, "zzt/first"); // order key, not insertion
+    EXPECT_EQ(both[1]->id, "zzt/second");
+
+    const auto exact = bench::Registry::instance().matching({"zzt2"});
+    ASSERT_EQ(exact.size(), 1u);
+    EXPECT_EQ(exact[0]->id, "zzt2");
+
+    // A filter with no component-level hit falls back to substring.
+    const auto sub = bench::Registry::instance().matching({"t/sec"});
+    ASSERT_EQ(sub.size(), 1u);
+    EXPECT_EQ(sub[0]->id, "zzt/second");
+
+    EXPECT_TRUE(bench::Registry::instance()
+                    .matching({"no-such-case-anywhere"})
+                    .empty());
+}
+
+TEST(BenchHarness, CaseContextStampsCaseIdAndClearsWorkerStash)
+{
+    bench::RunOptions opts;
+    std::vector<CaseResult> sink;
+    bench::CaseContext ctx(opts, "fig0", sink);
+
+    // Stashes append, so a tool built from several portfolio phases
+    // reports every phase's workers.
+    ctx.stashWorkerSeconds({1.0});
+    ctx.stashWorkerSeconds({2.0});
+    CaseResult row;
+    row.benchmark = "b";
+    row.tool = "t";
+    row.metric = "m";
+    row.workerSeconds = ctx.takeWorkerSeconds();
+    ctx.record(row);
+    // The stash is take-once: a second take must not re-attach the
+    // first run's timings to a later row.
+    EXPECT_TRUE(ctx.takeWorkerSeconds().empty());
+
+    ASSERT_EQ(sink.size(), 1u);
+    EXPECT_EQ(sink[0].caseId, "fig0");
+    EXPECT_EQ(sink[0].workerSeconds, (std::vector<double>{1.0, 2.0}));
+}
+
+std::vector<CaseResult>
+goldenResults()
+{
+    CaseResult a;
+    a.caseId = "fig1";
+    a.benchmark = "qft_6";
+    a.tool = "guoq";
+    a.metric = "2q_reduction";
+    a.value = 0.25;
+    a.seconds = 0.5;
+    a.trial = 0;
+    a.seed = 7;
+    a.workerSeconds = {0.25, 0.5};
+    CaseResult b;
+    b.caseId = "fig1";
+    b.benchmark = "a\"b,c\nd";
+    b.tool = "t\\v";
+    b.metric = "m";
+    b.value = -1.5;
+    b.seconds = 0;
+    b.trial = 1;
+    b.seed = 8;
+    return {a, b};
+}
+
+bench::RunMeta
+goldenMeta()
+{
+    bench::RunMeta meta;
+    meta.scale = 0.5;
+    meta.trials = 2;
+    meta.seed = 7;
+    meta.threads = 2;
+    meta.cases = {"fig1", "table3"};
+    return meta;
+}
+
+TEST(BenchEmit, JsonGolden)
+{
+    const std::string expected = "{\n"
+                                 "  \"schema\": \"guoq-bench-v1\",\n"
+                                 "  \"run\": {\n"
+                                 "    \"scale\": 0.5,\n"
+                                 "    \"trials\": 2,\n"
+                                 "    \"seed\": 7,\n"
+                                 "    \"threads\": 2,\n"
+                                 "    \"cases\": [\"fig1\", \"table3\"]\n"
+                                 "  },\n"
+                                 "  \"results\": [\n"
+                                 "    {\n"
+                                 "      \"case\": \"fig1\",\n"
+                                 "      \"benchmark\": \"qft_6\",\n"
+                                 "      \"tool\": \"guoq\",\n"
+                                 "      \"metric\": \"2q_reduction\",\n"
+                                 "      \"value\": 0.25,\n"
+                                 "      \"seconds\": 0.5,\n"
+                                 "      \"trial\": 0,\n"
+                                 "      \"seed\": 7,\n"
+                                 "      \"workers\": [0.25, 0.5]\n"
+                                 "    },\n"
+                                 "    {\n"
+                                 "      \"case\": \"fig1\",\n"
+                                 "      \"benchmark\": \"a\\\"b,c\\nd\",\n"
+                                 "      \"tool\": \"t\\\\v\",\n"
+                                 "      \"metric\": \"m\",\n"
+                                 "      \"value\": -1.5,\n"
+                                 "      \"seconds\": 0,\n"
+                                 "      \"trial\": 1,\n"
+                                 "      \"seed\": 8,\n"
+                                 "      \"workers\": []\n"
+                                 "    }\n"
+                                 "  ]\n"
+                                 "}\n";
+    EXPECT_EQ(bench::toJson(goldenMeta(), goldenResults()), expected);
+}
+
+TEST(BenchEmit, JsonEmptyResultsAndNonFiniteValues)
+{
+    bench::RunMeta meta;
+    meta.cases = {};
+    const std::string empty = bench::toJson(meta, {});
+    EXPECT_NE(empty.find("\"results\": []"), std::string::npos);
+
+    // JSON has no NaN/Inf literal; they must emit as null so the
+    // document always parses.
+    CaseResult r;
+    r.caseId = "c";
+    r.value = std::nan("");
+    r.seconds = std::numeric_limits<double>::infinity();
+    const std::string doc = bench::toJson(meta, {r});
+    EXPECT_NE(doc.find("\"value\": null"), std::string::npos);
+    EXPECT_NE(doc.find("\"seconds\": null"), std::string::npos);
+    EXPECT_EQ(doc.find("nan"), std::string::npos);
+    EXPECT_EQ(doc.find("inf"), std::string::npos);
+
+    // CSV mirrors null as an empty field: no "nan"/"inf" tokens.
+    const std::string csv = bench::toCsv({r});
+    EXPECT_NE(csv.find("c,,,,,,0,0,"), std::string::npos);
+    EXPECT_EQ(csv.find("nan"), std::string::npos);
+    EXPECT_EQ(csv.find("inf"), std::string::npos);
+}
+
+TEST(BenchEmit, CsvGolden)
+{
+    const std::string expected =
+        "case,benchmark,tool,metric,value,seconds,trial,seed,workers\n"
+        "fig1,qft_6,guoq,2q_reduction,0.25,0.5,0,7,0.25;0.5\n"
+        "fig1,\"a\"\"b,c\nd\",t\\v,m,-1.5,0,1,8,\n";
+    EXPECT_EQ(bench::toCsv(goldenResults()), expected);
+}
+
+/** Minimal RFC-4180 record parser for the round-trip check. */
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text)
+{
+    std::vector<std::vector<std::string>> records;
+    std::vector<std::string> record;
+    std::string field;
+    bool quoted = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (quoted) {
+            if (c == '"' && i + 1 < text.size() && text[i + 1] == '"') {
+                field += '"';
+                ++i;
+            } else if (c == '"') {
+                quoted = false;
+            } else {
+                field += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            record.push_back(field);
+            field.clear();
+        } else if (c == '\n') {
+            record.push_back(field);
+            field.clear();
+            records.push_back(record);
+            record.clear();
+        } else {
+            field += c;
+        }
+    }
+    return records;
+}
+
+TEST(BenchEmit, CsvRoundTripsThroughRfc4180Parser)
+{
+    const auto records = parseCsv(bench::toCsv(goldenResults()));
+    ASSERT_EQ(records.size(), 3u); // header + 2 rows
+    for (const auto &record : records)
+        EXPECT_EQ(record.size(), 9u);
+    EXPECT_EQ(records[0][0], "case");
+    EXPECT_EQ(records[1][1], "qft_6");
+    EXPECT_EQ(records[1][8], "0.25;0.5");
+    // The embedded quote, comma, and newline survive the round trip.
+    EXPECT_EQ(records[2][1], "a\"b,c\nd");
+    EXPECT_EQ(records[2][4], "-1.5");
+}
+
+TEST(BenchEmit, EscapingHelpers)
+{
+    EXPECT_EQ(bench::jsonEscape("a\"b\\c\nd\te"),
+              "a\\\"b\\\\c\\nd\\te");
+    EXPECT_EQ(bench::jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(bench::csvField("plain"), "plain");
+    EXPECT_EQ(bench::csvField("a,b"), "\"a,b\"");
+    EXPECT_EQ(bench::csvField("a\"b"), "\"a\"\"b\"");
+}
+
+} // namespace
+} // namespace guoq

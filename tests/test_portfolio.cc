@@ -94,6 +94,32 @@ TEST(Portfolio, MergedStatsSumPerWorkerIterations)
     EXPECT_EQ(p.stats.iterations, threads * iterations);
 }
 
+TEST(Portfolio, ExposesPerWorkerWallTimeAndSingleThreadTrace)
+{
+    const ir::Circuit c = testCircuit();
+
+    // threads == 1: the single optimize() run's trace passes through,
+    // and the one worker reports its wall time.
+    core::PortfolioConfig cfg = iterConfig(1, 200);
+    cfg.base.recordTrace = true;
+    const core::PortfolioResult p =
+        core::optimizePortfolio(c, ir::GateSetKind::Nam, cfg);
+    EXPECT_FALSE(p.trace.empty());
+    ASSERT_EQ(p.workers.size(), 1u);
+    EXPECT_GE(p.workers[0].wallSeconds, 0.0);
+
+    // threads > 1: every worker reports a wall time; no single
+    // trajectory exists, so the trace stays empty.
+    core::PortfolioConfig multi = iterConfig(3, 100);
+    multi.base.recordTrace = true;
+    const core::PortfolioResult q =
+        core::optimizePortfolio(c, ir::GateSetKind::Nam, multi);
+    EXPECT_TRUE(q.trace.empty());
+    ASSERT_EQ(q.workers.size(), 3u);
+    for (const core::PortfolioWorkerReport &w : q.workers)
+        EXPECT_GE(w.wallSeconds, 0.0);
+}
+
 TEST(Portfolio, WorkerSeedsAreDistinctAndStable)
 {
     std::set<std::uint64_t> seeds;
