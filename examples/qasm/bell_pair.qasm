@@ -1,0 +1,9 @@
+// A Bell pair sandwiched by its own inverse — GUOQ reduces this to
+// nothing at any objective (a two-line smoke test for the CLI).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0], q[1];
+cx q[0], q[1];
+h q[0];

@@ -1,0 +1,12 @@
+// 5-qubit GHZ state preparation in OpenQASM 3 syntax: qubit[n]
+// declaration, stdgates include, and a gphase the optimizer may drop
+// freely (all objectives are phase-invariant).
+OPENQASM 3.0;
+include "stdgates.inc";
+qubit[5] q;
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+cx q[2], q[3];
+cx q[3], q[4];
+gphase(pi/8);

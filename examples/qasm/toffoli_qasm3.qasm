@@ -1,0 +1,11 @@
+// A Toffoli wrapped in redundant single-qubit gates, written with
+// QASM 3 const declarations and single-qubit broadcast (`h q;`).
+OPENQASM 3.0;
+include "stdgates.inc";
+const float[64] eighth = pi / 8;
+qubit[3] q;
+h q;
+rz(eighth) q[0];
+rz(-eighth) q[0];
+ccx q[0], q[1], q[2];
+h q;

@@ -158,6 +158,83 @@ toJson(const RunMeta &meta, const std::vector<CaseResult> &results)
 }
 
 std::string
+toBatchJson(const BatchRunMeta &meta,
+            const std::vector<BatchFileEntry> &files)
+{
+    std::size_t ok = 0;
+    for (const BatchFileEntry &f : files)
+        ok += f.status == "ok" ? 1 : 0;
+
+    std::string out;
+    auto str = [&out](const char *key, const std::string &v) {
+        out += key;
+        out += ": \"";
+        out += jsonEscape(v);
+        out += "\"";
+    };
+    out += "{\n";
+    out += "  \"schema\": \"guoq-batch-v1\",\n";
+    out += "  \"run\": {\n    ";
+    str("\"input_dir\"", meta.inputDir);
+    out += ",\n    ";
+    str("\"output_dir\"", meta.outputDir);
+    out += ",\n    ";
+    str("\"gate_set\"", meta.gateSet);
+    out += ",\n    ";
+    str("\"objective\"", meta.objective);
+    out += ",\n    \"epsilon\": " + jsonNumber(meta.epsilon);
+    out += ",\n    \"time\": " + jsonNumber(meta.timeBudgetSeconds);
+    out += ",\n    \"threads\": " + std::to_string(meta.threads);
+    out += ",\n    \"jobs\": " + std::to_string(meta.jobs);
+    out += ",\n    \"seed\": " + u64(meta.seed);
+    out += ",\n    \"files\": " + std::to_string(files.size());
+    out += ",\n    \"ok\": " + std::to_string(ok);
+    out += ",\n    \"failed\": " + std::to_string(files.size() - ok);
+    out += "\n  },\n";
+    out += "  \"files\": [";
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const BatchFileEntry &f = files[i];
+        out += i ? ",\n    {\n      " : "\n    {\n      ";
+        str("\"file\"", f.file);
+        out += ",\n      ";
+        str("\"status\"", f.status);
+        out += ",\n      ";
+        str("\"dialect\"", f.dialect);
+        if (f.status == "ok") {
+            out += ",\n      ";
+            str("\"output\"", f.output);
+            out += ",\n      \"qubits\": " + std::to_string(f.qubits);
+            out += ",\n      \"gates_before\": " +
+                   std::to_string(f.gatesBefore);
+            out += ",\n      \"gates_after\": " +
+                   std::to_string(f.gatesAfter);
+            out += ",\n      \"twoq_before\": " +
+                   std::to_string(f.twoQubitBefore);
+            out += ",\n      \"twoq_after\": " +
+                   std::to_string(f.twoQubitAfter);
+            out += ",\n      \"error_bound\": " +
+                   jsonNumber(f.errorBound);
+            // An ok entry can still carry a note (e.g. "verify
+            // skipped: more than 10 qubits").
+            if (!f.message.empty()) {
+                out += ",\n      ";
+                str("\"message\"", f.message);
+            }
+        } else {
+            out += ",\n      \"line\": " + std::to_string(f.line);
+            out += ",\n      \"col\": " + std::to_string(f.col);
+            out += ",\n      ";
+            str("\"message\"", f.message);
+        }
+        out += ",\n      \"seconds\": " + jsonNumber(f.seconds);
+        out += "\n    }";
+    }
+    out += files.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
 toCsv(const std::vector<CaseResult> &results)
 {
     std::string out =

@@ -51,6 +51,65 @@ std::string toJson(const RunMeta &meta,
  */
 std::string toCsv(const std::vector<CaseResult> &results);
 
+/** One file's outcome in a `guoq_cli --batch` run. */
+struct BatchFileEntry
+{
+    std::string file;    //!< input path relative to the batch root
+    std::string status;  //!< "ok" | "parse_error" | "verify_failed" |
+                         //!< "write_error"
+    std::string dialect; //!< input dialect actually parsed
+    std::string output;  //!< written output path (ok entries only)
+    int qubits = 0;
+    std::size_t gatesBefore = 0;
+    std::size_t gatesAfter = 0;
+    std::size_t twoQubitBefore = 0;
+    std::size_t twoQubitAfter = 0;
+    double errorBound = 0; //!< accumulated ε of the result
+    double seconds = 0;    //!< wall time spent on this file
+    int line = 0;          //!< error position (failures; 0 = n/a)
+    int col = 0;
+    std::string message;   //!< error message (failures only)
+};
+
+/** Provenance header of one batch run. */
+struct BatchRunMeta
+{
+    std::string inputDir;
+    std::string outputDir;
+    std::string gateSet;
+    std::string objective;
+    double epsilon = 0;
+    double timeBudgetSeconds = 0;
+    int threads = 1; //!< portfolio workers per file
+    int jobs = 1;    //!< files optimized concurrently
+    std::uint64_t seed = 0;
+};
+
+/**
+ * The batch run as a JSON document (schema "guoq-batch-v1"):
+ *
+ *   {
+ *     "schema": "guoq-batch-v1",
+ *     "run": {"input_dir": ..., "output_dir": ..., "gate_set": ...,
+ *             "objective": ..., "epsilon": ..., "time": ...,
+ *             "threads": ..., "jobs": ..., "seed": ...,
+ *             "files": N, "ok": N, "failed": N},
+ *     "files": [
+ *       {"file": ..., "status": "ok", "dialect": ..., "output": ...,
+ *        "qubits": ..., "gates_before": ..., "gates_after": ...,
+ *        "twoq_before": ..., "twoq_after": ..., "error_bound": ...,
+ *        "seconds": ...},
+ *       {"file": ..., "status": "parse_error", "dialect": ...,
+ *        "line": ..., "col": ..., "message": ..., "seconds": ...}
+ *     ]
+ *   }
+ *
+ * Failed entries carry line/col/message instead of the circuit
+ * fields; docs/FORMATS.md is the schema's authoritative description.
+ */
+std::string toBatchJson(const BatchRunMeta &meta,
+                        const std::vector<BatchFileEntry> &files);
+
 /** JSON string escaping (quotes, backslashes, control characters). */
 std::string jsonEscape(const std::string &s);
 

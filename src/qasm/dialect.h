@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The OpenQASM dialects this library reads and writes.
+ *
+ * The precise grammar subset accepted and emitted per dialect is
+ * documented in docs/FORMATS.md; the parser auto-detects the dialect
+ * of an input from its `OPENQASM <version>;` line (falling back to a
+ * qreg/qubit keyword sniff for headerless programs).
+ */
+
+#pragma once
+
+#include <string>
+
+namespace guoq {
+namespace qasm {
+
+/** Input/output language selection. */
+enum class Dialect
+{
+    Auto,  //!< detect from the OPENQASM version line (input only)
+    Qasm2, //!< OpenQASM 2.0 (qreg, qelib1.inc)
+    Qasm3, //!< OpenQASM 3.x (qubit[n], stdgates.inc)
+};
+
+/** Lower-case name: "auto", "qasm2", "qasm3". */
+const std::string &dialectName(Dialect d);
+
+/** Inverse of dialectName; returns false when unknown. */
+bool dialectFromName(const std::string &name, Dialect *out);
+
+} // namespace qasm
+} // namespace guoq

@@ -1,0 +1,151 @@
+#include "qasm/lexer.h"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "support/logging.h"
+
+namespace guoq {
+namespace qasm {
+
+void
+Lexer::skipSpaceAndComments(Token &err)
+{
+    while (pos_ < src_.size()) {
+        const char c = src_[pos_];
+        if (c == '\n') {
+            ++line_;
+            ++pos_;
+            lineStart_ = pos_;
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+            ++pos_;
+        } else if (c == '/' && pos_ + 1 < src_.size() &&
+                   src_[pos_ + 1] == '/') {
+            while (pos_ < src_.size() && src_[pos_] != '\n')
+                ++pos_;
+        } else if (c == '/' && pos_ + 1 < src_.size() &&
+                   src_[pos_ + 1] == '*') {
+            const int start_line = line_;
+            const int start_col =
+                static_cast<int>(pos_ - lineStart_) + 1;
+            pos_ += 2;
+            while (pos_ + 1 < src_.size() &&
+                   !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+                if (src_[pos_] == '\n') {
+                    ++line_;
+                    lineStart_ = pos_ + 1;
+                }
+                ++pos_;
+            }
+            if (pos_ + 1 >= src_.size()) {
+                pos_ = src_.size();
+                err.kind = Tok::Error;
+                err.text = "unterminated block comment";
+                err.line = start_line;
+                err.col = start_col;
+                return;
+            }
+            pos_ += 2; // closing */
+        } else {
+            break;
+        }
+    }
+}
+
+Token
+Lexer::next()
+{
+    Token t;
+    skipSpaceAndComments(t);
+    if (t.kind == Tok::Error)
+        return t;
+    t.line = line_;
+    t.col = static_cast<int>(pos_ - lineStart_) + 1;
+    if (pos_ >= src_.size()) {
+        t.kind = Tok::End;
+        return t;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        const std::size_t start = pos_;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_'))
+            ++pos_;
+        t.kind = Tok::Ident;
+        t.text = src_.substr(start, pos_ - start);
+        return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+        const std::size_t start = pos_;
+        while (pos_ < src_.size() &&
+               (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '.' || src_[pos_] == 'e' ||
+                src_[pos_] == 'E' ||
+                ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
+                 (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E'))))
+            ++pos_;
+        t.text = src_.substr(start, pos_ - start);
+        // stod parses the longest valid prefix without throwing, so
+        // "1.5.7" or "2e" must be rejected by checking every
+        // character was consumed, not by catching an exception.
+        std::size_t consumed = 0;
+        try {
+            t.number = std::stod(t.text, &consumed);
+        } catch (const std::exception &) {
+            consumed = 0; // e.g. a lone "."
+        }
+        if (consumed == t.text.size()) {
+            t.kind = Tok::Number;
+        } else {
+            t.kind = Tok::Error;
+            t.text = "malformed number '" + t.text + "'";
+        }
+        return t;
+    }
+    if (c == '"') {
+        const std::size_t start = ++pos_;
+        while (pos_ < src_.size() && src_[pos_] != '"' &&
+               src_[pos_] != '\n')
+            ++pos_;
+        if (pos_ >= src_.size() || src_[pos_] != '"') {
+            t.kind = Tok::Error;
+            t.text = "unterminated string literal";
+            return t;
+        }
+        t.kind = Tok::String;
+        t.text = src_.substr(start, pos_ - start);
+        ++pos_; // closing quote
+        return t;
+    }
+    ++pos_;
+    switch (c) {
+      case '(': t.kind = Tok::LParen; return t;
+      case ')': t.kind = Tok::RParen; return t;
+      case '[': t.kind = Tok::LBracket; return t;
+      case ']': t.kind = Tok::RBracket; return t;
+      case '{': t.kind = Tok::LBrace; return t;
+      case '}': t.kind = Tok::RBrace; return t;
+      case ',': t.kind = Tok::Comma; return t;
+      case ';': t.kind = Tok::Semi; return t;
+      case '+': t.kind = Tok::Plus; return t;
+      case '*': t.kind = Tok::Star; return t;
+      case '/': t.kind = Tok::Slash; return t;
+      case '=': t.kind = Tok::Equals; return t;
+      case '-':
+        if (pos_ < src_.size() && src_[pos_] == '>') {
+            ++pos_;
+            t.kind = Tok::Arrow;
+        } else {
+            t.kind = Tok::Minus;
+        }
+        return t;
+      default:
+        t.kind = Tok::Error;
+        t.text = support::strcat("unexpected character '", c, "'");
+        return t;
+    }
+}
+
+} // namespace qasm
+} // namespace guoq

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The token stream shared by the OpenQASM 2.0 and 3.x parsers.
+ *
+ * One lexer serves both dialects: the token inventory of the subsets
+ * we accept is identical except for `=` (QASM 3 const declarations),
+ * and QASM 2 files simply never produce it. Tokens carry 1-based
+ * line/column positions so parse errors can point at the offending
+ * character; lexical errors (unexpected characters, unterminated
+ * strings or block comments) are reported as a Tok::Error token rather
+ * than aborting the process, so one bad file cannot take down a batch
+ * run.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace guoq {
+namespace qasm {
+
+/** Token kinds produced by the lexer. */
+enum class Tok
+{
+    Ident,
+    Number,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Arrow,  //!< "->" (QASM 2 measure syntax; only ever rejected)
+    Equals, //!< "=" (QASM 3 const declarations)
+    String,
+    Error,  //!< lexical error; `text` holds the message
+    End,
+};
+
+/** One lexed token with its source position. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;  //!< identifier/number/string spelling, or the
+                       //!< error message for Tok::Error
+    double number = 0; //!< value when kind == Tok::Number
+    int line = 1;      //!< 1-based line of the first character
+    int col = 1;       //!< 1-based column of the first character
+};
+
+/**
+ * Whole-input lexer. Strips `//` line comments and `/ * ... * /`
+ * block comments (the latter are QASM 3 syntax but harmless to accept
+ * everywhere). The source string must outlive the lexer.
+ */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src_(src) {}
+
+    /** The next token; sticky Tok::End at end of input. */
+    Token next();
+
+  private:
+    void skipSpaceAndComments(Token &err);
+
+    const std::string &src_;
+    std::size_t pos_ = 0;
+    std::size_t lineStart_ = 0; //!< offset of the current line's start
+    int line_ = 1;
+};
+
+} // namespace qasm
+} // namespace guoq

@@ -1,428 +1,578 @@
 #include "qasm/parser.h"
 
-#include <cctype>
 #include <cmath>
 #include <fstream>
-#include <map>
 #include <sstream>
+#include <utility>
 
+#include "qasm/parser_detail.h"
 #include "support/logging.h"
 
 namespace guoq {
 namespace qasm {
 
+// --- Dialect names ---------------------------------------------------
+
+const std::string &
+dialectName(Dialect d)
+{
+    static const std::string names[] = {"auto", "qasm2", "qasm3"};
+    return names[static_cast<int>(d)];
+}
+
+bool
+dialectFromName(const std::string &name, Dialect *out)
+{
+    for (Dialect d : {Dialect::Auto, Dialect::Qasm2, Dialect::Qasm3})
+        if (dialectName(d) == name) {
+            *out = d;
+            return true;
+        }
+    return false;
+}
+
+// --- ParseError ------------------------------------------------------
+
+std::string
+ParseError::str() const
+{
+    std::string out;
+    if (!file.empty()) {
+        out += file;
+        out += line > 0 ? ":" : ": ";
+    }
+    if (line > 0) {
+        if (file.empty())
+            out += support::strcat("line ", line, ", col ", col, ": ");
+        else
+            out += support::strcat(line, ":", col, ": ");
+    }
+    out += message;
+    return out;
+}
+
+namespace detail {
+
 namespace {
 
-/** Token kinds produced by the lexer. */
-enum class Tok
+/** Human-readable spelling of a token for diagnostics (punctuation
+ *  tokens carry no text, so the kind supplies it). */
+std::string
+describe(const Token &t)
 {
-    Ident,
-    Number,
-    LParen,
-    RParen,
-    LBracket,
-    RBracket,
-    LBrace,
-    RBrace,
-    Comma,
-    Semi,
-    Plus,
-    Minus,
-    Star,
-    Slash,
-    Arrow,
-    String,
-    End,
-};
+    switch (t.kind) {
+      case Tok::Ident:
+      case Tok::Number: return "'" + t.text + "'";
+      case Tok::String: return "string \"" + t.text + "\"";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::Comma: return "','";
+      case Tok::Semi: return "';'";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Arrow: return "'->'";
+      case Tok::Equals: return "'='";
+      case Tok::Error: return t.text;
+      case Tok::End: break;
+    }
+    return "<end of input>";
+}
 
-struct Token
+} // namespace
+
+// --- ParserBase: token plumbing --------------------------------------
+
+void
+ParserBase::expect(Tok k, const char *what)
 {
-    Tok kind = Tok::End;
-    std::string text;
-    double number = 0;
-    int line = 0;
-};
+    if (cur_.kind != k)
+        error(support::strcat("expected ", what, ", got ",
+                              describe(cur_)));
+    advance();
+}
 
-/** Whole-input lexer; strips // comments. */
-class Lexer
+bool
+ParserBase::accept(Tok k)
 {
-  public:
-    explicit Lexer(const std::string &src) : src_(src) {}
+    if (cur_.kind != k)
+        return false;
+    advance();
+    return true;
+}
 
-    Token
-    next()
-    {
-        skipSpace();
-        Token t;
-        t.line = line_;
-        if (pos_ >= src_.size()) {
-            t.kind = Tok::End;
-            return t;
-        }
-        const char c = src_[pos_];
-        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-            const std::size_t start = pos_;
-            while (pos_ < src_.size() &&
-                   (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
-                    src_[pos_] == '_'))
-                ++pos_;
-            t.kind = Tok::Ident;
-            t.text = src_.substr(start, pos_ - start);
-            return t;
-        }
-        if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
-            const std::size_t start = pos_;
-            while (pos_ < src_.size() &&
-                   (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
-                    src_[pos_] == '.' || src_[pos_] == 'e' ||
-                    src_[pos_] == 'E' ||
-                    ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
-                     (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E'))))
-                ++pos_;
-            t.kind = Tok::Number;
-            t.text = src_.substr(start, pos_ - start);
-            t.number = std::stod(t.text);
-            return t;
-        }
-        if (c == '"') {
-            const std::size_t start = ++pos_;
-            while (pos_ < src_.size() && src_[pos_] != '"')
-                ++pos_;
-            t.kind = Tok::String;
-            t.text = src_.substr(start, pos_ - start);
-            if (pos_ < src_.size())
-                ++pos_; // closing quote
-            return t;
-        }
-        ++pos_;
-        switch (c) {
-          case '(': t.kind = Tok::LParen; return t;
-          case ')': t.kind = Tok::RParen; return t;
-          case '[': t.kind = Tok::LBracket; return t;
-          case ']': t.kind = Tok::RBracket; return t;
-          case '{': t.kind = Tok::LBrace; return t;
-          case '}': t.kind = Tok::RBrace; return t;
-          case ',': t.kind = Tok::Comma; return t;
-          case ';': t.kind = Tok::Semi; return t;
-          case '+': t.kind = Tok::Plus; return t;
-          case '*': t.kind = Tok::Star; return t;
-          case '/': t.kind = Tok::Slash; return t;
-          case '-':
-            if (pos_ < src_.size() && src_[pos_] == '>') {
-                ++pos_;
-                t.kind = Tok::Arrow;
-            } else {
-                t.kind = Tok::Minus;
-            }
-            return t;
-          default:
-            support::fatal(support::strcat("qasm: line ", line_,
-                                           ": unexpected character '", c,
-                                           "'"));
-        }
-    }
-
-  private:
-    void
-    skipSpace()
-    {
-        while (pos_ < src_.size()) {
-            const char c = src_[pos_];
-            if (c == '\n') {
-                ++line_;
-                ++pos_;
-            } else if (std::isspace(static_cast<unsigned char>(c))) {
-                ++pos_;
-            } else if (c == '/' && pos_ + 1 < src_.size() &&
-                       src_[pos_ + 1] == '/') {
-                while (pos_ < src_.size() && src_[pos_] != '\n')
-                    ++pos_;
-            } else {
-                break;
-            }
-        }
-    }
-
-    const std::string &src_;
-    std::size_t pos_ = 0;
-    int line_ = 1;
-};
-
-/** The parser proper: one token of lookahead over the lexer. */
-class Parser
+int
+ParserBase::parseIntLit(const char *what, int min, int max)
 {
-  public:
-    explicit Parser(const std::string &src) : lexer_(src)
-    {
-        cur_ = lexer_.next();
+    if (cur_.kind != Tok::Number)
+        error(support::strcat("expected ", what));
+    const double v = cur_.number;
+    if (v != std::floor(v) || v < min || v > max)
+        error(support::strcat(what, " must be an integer in [", min,
+                              ", ", max, "], got '", cur_.text, "'"));
+    advance();
+    return static_cast<int>(v);
+}
+
+// --- ParserBase: constant expressions --------------------------------
+
+double
+ParserBase::parseExpr()
+{
+    double v = parseTerm();
+    while (true) {
+        if (accept(Tok::Plus))
+            v += parseTerm();
+        else if (accept(Tok::Minus))
+            v -= parseTerm();
+        else
+            return v;
     }
+}
 
-    ir::Circuit
-    parseProgram()
-    {
-        parseHeader();
-        // First pass collects register declarations and gate statements
-        // interleaved; registers must precede their first use.
-        while (cur_.kind != Tok::End)
-            parseStatement();
-        ir::Circuit c(totalQubits_);
-        for (ir::Gate &g : pending_)
-            c.add(std::move(g));
-        return c;
-    }
-
-  private:
-    [[noreturn]] void
-    error(const std::string &msg) const
-    {
-        support::fatal(support::strcat("qasm: line ", cur_.line, ": ", msg));
-    }
-
-    void advance() { cur_ = lexer_.next(); }
-
-    void
-    expect(Tok k, const char *what)
-    {
-        if (cur_.kind != k)
-            error(support::strcat("expected ", what, ", got '", cur_.text,
-                                  "'"));
-        advance();
-    }
-
-    bool
-    accept(Tok k)
-    {
-        if (cur_.kind != k)
-            return false;
-        advance();
-        return true;
-    }
-
-    void
-    parseHeader()
-    {
-        if (cur_.kind == Tok::Ident && cur_.text == "OPENQASM") {
-            advance();
-            expect(Tok::Number, "version number");
-            expect(Tok::Semi, "';'");
-        }
-    }
-
-    void
-    parseStatement()
-    {
-        if (cur_.kind != Tok::Ident)
-            error("expected statement");
-        const std::string kw = cur_.text;
-        if (kw == "include") {
-            advance();
-            expect(Tok::String, "file name");
-            expect(Tok::Semi, "';'");
-        } else if (kw == "qreg") {
-            advance();
-            parseQreg();
-        } else if (kw == "creg") {
-            // Classical registers are accepted and ignored so that
-            // published benchmark files parse; measurements are not.
-            advance();
-            expect(Tok::Ident, "register name");
-            expect(Tok::LBracket, "'['");
-            expect(Tok::Number, "size");
-            expect(Tok::RBracket, "']'");
-            expect(Tok::Semi, "';'");
-        } else if (kw == "barrier") {
-            while (cur_.kind != Tok::Semi && cur_.kind != Tok::End)
-                advance();
-            expect(Tok::Semi, "';'");
-        } else if (kw == "gate") {
-            skipGateDefinition();
-        } else if (kw == "measure" || kw == "reset" || kw == "if") {
-            error("'" + kw + "' is not supported (unitary circuits only)");
+double
+ParserBase::parseTerm()
+{
+    double v = parseFactor();
+    while (true) {
+        if (accept(Tok::Star)) {
+            v *= parseFactor();
+        } else if (accept(Tok::Slash)) {
+            const Token div = cur_;
+            const double d = parseFactor();
+            if (d == 0)
+                failAt(div.line, div.col,
+                       "division by zero in angle expression");
+            v /= d;
         } else {
-            parseGateApplication();
-        }
-    }
-
-    void
-    parseQreg()
-    {
-        if (cur_.kind != Tok::Ident)
-            error("expected register name");
-        const std::string name = cur_.text;
-        advance();
-        expect(Tok::LBracket, "'['");
-        if (cur_.kind != Tok::Number)
-            error("expected register size");
-        const int size = static_cast<int>(cur_.number);
-        advance();
-        expect(Tok::RBracket, "']'");
-        expect(Tok::Semi, "';'");
-        if (registers_.count(name))
-            error("duplicate qreg '" + name + "'");
-        registers_[name] = totalQubits_;
-        totalQubits_ += size;
-        registerSizes_[name] = size;
-    }
-
-    void
-    skipGateDefinition()
-    {
-        advance(); // 'gate'
-        while (cur_.kind != Tok::LBrace && cur_.kind != Tok::End)
-            advance();
-        int depth = 0;
-        do {
-            if (cur_.kind == Tok::LBrace)
-                ++depth;
-            else if (cur_.kind == Tok::RBrace)
-                --depth;
-            else if (cur_.kind == Tok::End)
-                error("unterminated gate definition");
-            advance();
-        } while (depth > 0);
-    }
-
-    void
-    parseGateApplication()
-    {
-        const std::string name = cur_.text;
-        ir::GateKind kind;
-        if (!ir::gateKindFromName(name, &kind))
-            error("unknown gate '" + name + "'");
-        advance();
-
-        std::vector<double> params;
-        if (accept(Tok::LParen)) {
-            if (cur_.kind != Tok::RParen) {
-                params.push_back(parseExpr());
-                while (accept(Tok::Comma))
-                    params.push_back(parseExpr());
-            }
-            expect(Tok::RParen, "')'");
-        }
-
-        std::vector<int> qubits;
-        qubits.push_back(parseQubitRef());
-        while (accept(Tok::Comma))
-            qubits.push_back(parseQubitRef());
-        expect(Tok::Semi, "';'");
-
-        if (static_cast<int>(qubits.size()) != ir::gateArity(kind))
-            error(support::strcat("gate '", name, "' expects ",
-                                  ir::gateArity(kind), " qubits, got ",
-                                  qubits.size()));
-        if (static_cast<int>(params.size()) != ir::gateParamCount(kind))
-            error(support::strcat("gate '", name, "' expects ",
-                                  ir::gateParamCount(kind),
-                                  " parameters, got ", params.size()));
-        pending_.emplace_back(kind, std::move(qubits), std::move(params));
-    }
-
-    int
-    parseQubitRef()
-    {
-        if (cur_.kind != Tok::Ident)
-            error("expected qubit reference");
-        const std::string name = cur_.text;
-        advance();
-        auto it = registers_.find(name);
-        if (it == registers_.end())
-            error("unknown register '" + name + "'");
-        expect(Tok::LBracket, "'['");
-        if (cur_.kind != Tok::Number)
-            error("expected qubit index");
-        const int idx = static_cast<int>(cur_.number);
-        advance();
-        expect(Tok::RBracket, "']'");
-        if (idx < 0 || idx >= registerSizes_[name])
-            error(support::strcat("qubit index ", idx,
-                                  " out of range for '", name, "'"));
-        return it->second + idx;
-    }
-
-    /** expr := term (('+'|'-') term)* */
-    double
-    parseExpr()
-    {
-        double v = parseTerm();
-        while (true) {
-            if (accept(Tok::Plus))
-                v += parseTerm();
-            else if (accept(Tok::Minus))
-                v -= parseTerm();
-            else
-                return v;
-        }
-    }
-
-    /** term := factor (('*'|'/') factor)* */
-    double
-    parseTerm()
-    {
-        double v = parseFactor();
-        while (true) {
-            if (accept(Tok::Star)) {
-                v *= parseFactor();
-            } else if (accept(Tok::Slash)) {
-                const double d = parseFactor();
-                if (d == 0)
-                    error("division by zero in angle expression");
-                v /= d;
-            } else {
-                return v;
-            }
-        }
-    }
-
-    /** factor := '-' factor | number | 'pi' | '(' expr ')' */
-    double
-    parseFactor()
-    {
-        if (accept(Tok::Minus))
-            return -parseFactor();
-        if (cur_.kind == Tok::Number) {
-            const double v = cur_.number;
-            advance();
             return v;
         }
-        if (cur_.kind == Tok::Ident && cur_.text == "pi") {
+    }
+}
+
+double
+ParserBase::parseFactor()
+{
+    if (accept(Tok::Minus))
+        return -parseFactor();
+    if (cur_.kind == Tok::Number) {
+        const double v = cur_.number;
+        advance();
+        return v;
+    }
+    if (cur_.kind == Tok::Ident) {
+        if (cur_.text == "pi") {
             advance();
             return M_PI;
         }
-        if (accept(Tok::LParen)) {
-            const double v = parseExpr();
-            expect(Tok::RParen, "')'");
-            return v;
+        if (cur_.text == "tau") {
+            advance();
+            return 2 * M_PI;
         }
-        error("expected number, 'pi', or '('");
+        if (cur_.text == "euler") {
+            advance();
+            return M_E;
+        }
+        const auto it = consts_.find(cur_.text);
+        if (it != consts_.end()) {
+            advance();
+            return it->second;
+        }
+        error("unknown identifier '" + cur_.text + "' in expression");
     }
+    if (accept(Tok::LParen)) {
+        const double v = parseExpr();
+        expect(Tok::RParen, "')'");
+        return v;
+    }
+    error("expected number, 'pi', or '('");
+}
 
-    Lexer lexer_;
-    Token cur_;
-    std::map<std::string, int> registers_;
-    std::map<std::string, int> registerSizes_;
-    int totalQubits_ = 0;
-    std::vector<ir::Gate> pending_;
-};
+// --- ParserBase: registers and gate applications ---------------------
+
+void
+ParserBase::declareRegister(const std::string &name, int size, int line,
+                            int col)
+{
+    if (registerStart_.count(name))
+        failAt(line, col, "duplicate register '" + name + "'");
+    registerStart_[name] = totalQubits_;
+    registerSize_[name] = size;
+    totalQubits_ += size;
+}
+
+ParserBase::Operand
+ParserBase::parseOperand()
+{
+    if (cur_.kind != Tok::Ident)
+        error("expected qubit reference");
+    const Token reg_tok = cur_;
+    const std::string name = cur_.text;
+    advance();
+    const auto it = registerStart_.find(name);
+    if (it == registerStart_.end())
+        failAt(reg_tok.line, reg_tok.col,
+               "unknown register '" + name + "'");
+    Operand op;
+    op.first = it->second;
+    if (accept(Tok::LBracket)) {
+        const Token idx_tok = cur_;
+        const int idx = parseIntLit("qubit index", 0, kMaxRegisterSize);
+        expect(Tok::RBracket, "']'");
+        if (idx >= registerSize_[name])
+            failAt(idx_tok.line, idx_tok.col,
+                   support::strcat("qubit index ", idx,
+                                   " out of range for '", name, "'"));
+        op.first += idx;
+        op.count = 1;
+    } else {
+        op.count = registerSize_[name];
+    }
+    return op;
+}
+
+namespace {
+
+/**
+ * Gate names beyond the native gateKindFromName() table. `U` is the
+ * QASM builtin (both dialects' U(θ,φ,λ) is the u3 matrix); the rest
+ * are qelib1/stdgates spellings of gates we know by another name.
+ * `id`/`u0` are identity no-ops: parsed, validated, and dropped.
+ */
+bool
+resolveGateName(const std::string &name, ir::GateKind *kind,
+                bool *identity)
+{
+    *identity = false;
+    if (ir::gateKindFromName(name, kind))
+        return true;
+    if (name == "U" || name == "u") {
+        *kind = ir::GateKind::U3;
+        return true;
+    }
+    if (name == "p" || name == "phase") {
+        *kind = ir::GateKind::U1;
+        return true;
+    }
+    if (name == "cphase") {
+        *kind = ir::GateKind::CP;
+        return true;
+    }
+    if (name == "CX") {
+        *kind = ir::GateKind::CX;
+        return true;
+    }
+    if (name == "id" || name == "u0") {
+        *identity = true;
+        return true;
+    }
+    return false;
+}
 
 } // namespace
+
+void
+ParserBase::parseGateApplication()
+{
+    if (cur_.kind != Tok::Ident)
+        error("expected statement");
+    const Token name_tok = cur_;
+    const std::string name = cur_.text;
+    ir::GateKind kind{};
+    bool identity = false;
+    if (!resolveGateName(name, &kind, &identity))
+        failAt(name_tok.line, name_tok.col,
+               "unknown gate '" + name + "'");
+    advance();
+
+    std::vector<double> params;
+    if (accept(Tok::LParen)) {
+        if (cur_.kind != Tok::RParen) {
+            params.push_back(parseExpr());
+            while (accept(Tok::Comma))
+                params.push_back(parseExpr());
+        }
+        expect(Tok::RParen, "')'");
+    }
+
+    std::vector<Operand> ops;
+    ops.push_back(parseOperand());
+    while (accept(Tok::Comma))
+        ops.push_back(parseOperand());
+    expect(Tok::Semi, "';'");
+
+    if (identity) {
+        // id takes no parameters, u0 takes one (a qelib1 wait cycle);
+        // both are single-qubit (one operand, broadcast allowed) and
+        // lower to nothing once validated.
+        const std::size_t want = name == "u0" ? 1 : 0;
+        if (params.size() != want)
+            failAt(name_tok.line, name_tok.col,
+                   support::strcat("gate '", name, "' expects ", want,
+                                   " parameters, got ", params.size()));
+        if (ops.size() != 1)
+            failAt(name_tok.line, name_tok.col,
+                   support::strcat("gate '", name,
+                                   "' expects 1 qubit, got ",
+                                   ops.size()));
+        return;
+    }
+
+    if (static_cast<int>(params.size()) != ir::gateParamCount(kind))
+        failAt(name_tok.line, name_tok.col,
+               support::strcat("gate '", name, "' expects ",
+                               ir::gateParamCount(kind),
+                               " parameters, got ", params.size()));
+
+    const int arity = ir::gateArity(kind);
+    // Single-qubit broadcast: `h q;` applies h to every qubit of q.
+    if (arity == 1 && ops.size() == 1 && ops[0].count != 1) {
+        for (int i = 0; i < ops[0].count; ++i)
+            pending_.emplace_back(kind,
+                                  std::vector<int>{ops[0].first + i},
+                                  params);
+        return;
+    }
+    std::vector<int> qubits;
+    for (const Operand &op : ops) {
+        if (op.count != 1)
+            failAt(name_tok.line, name_tok.col,
+                   support::strcat(
+                       "whole-register operands of multi-qubit gates "
+                       "must have size 1 (register has ", op.count,
+                       " qubits)"));
+        qubits.push_back(op.first);
+    }
+    if (static_cast<int>(qubits.size()) != arity)
+        failAt(name_tok.line, name_tok.col,
+               support::strcat("gate '", name, "' expects ", arity,
+                               " qubits, got ", qubits.size()));
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+        for (std::size_t j = i + 1; j < qubits.size(); ++j)
+            if (qubits[i] == qubits[j])
+                failAt(name_tok.line, name_tok.col,
+                       "gate '" + name + "' applied to the same qubit "
+                       "twice");
+    pending_.emplace_back(kind, std::move(qubits), std::move(params));
+}
+
+void
+ParserBase::skipGateDefinition()
+{
+    advance(); // 'gate'
+    while (cur_.kind != Tok::LBrace && cur_.kind != Tok::End)
+        advance();
+    int depth = 0;
+    do {
+        if (cur_.kind == Tok::LBrace)
+            ++depth;
+        else if (cur_.kind == Tok::RBrace)
+            --depth;
+        else if (cur_.kind == Tok::End)
+            error("unterminated gate definition");
+        advance();
+    } while (depth > 0);
+}
+
+void
+ParserBase::skipToSemi()
+{
+    while (cur_.kind != Tok::Semi && cur_.kind != Tok::End)
+        advance();
+    expect(Tok::Semi, "';'");
+}
+
+ir::Circuit
+ParserBase::finishCircuit()
+{
+    ir::Circuit c(totalQubits_);
+    for (ir::Gate &g : pending_)
+        c.add(std::move(g));
+    return c;
+}
+
+// --- The OpenQASM 2.0 grammar ----------------------------------------
+
+ir::Circuit
+Qasm2Parser::run()
+{
+    advance(); // prime the token stream
+    parseHeader();
+    while (cur_.kind != Tok::End)
+        parseStatement();
+    return finishCircuit();
+}
+
+void
+Qasm2Parser::parseHeader()
+{
+    if (!atIdent("OPENQASM"))
+        return;
+    advance();
+    if (cur_.kind != Tok::Number)
+        error("expected version number");
+    if (static_cast<int>(cur_.number) != 2)
+        error("OPENQASM " + cur_.text +
+              " is not supported by the qasm2 parser");
+    advance();
+    expect(Tok::Semi, "';'");
+}
+
+void
+Qasm2Parser::parseStatement()
+{
+    if (cur_.kind != Tok::Ident)
+        error("expected statement");
+    const std::string kw = cur_.text;
+    if (kw == "include") {
+        advance();
+        expect(Tok::String, "file name");
+        expect(Tok::Semi, "';'");
+    } else if (kw == "qreg") {
+        parseQreg();
+    } else if (kw == "creg") {
+        // Classical registers are accepted and ignored so that
+        // published benchmark files parse; measurements are not.
+        parseCreg();
+    } else if (kw == "barrier") {
+        skipToSemi();
+    } else if (kw == "gate") {
+        skipGateDefinition();
+    } else if (kw == "opaque") {
+        skipToSemi();
+    } else if (kw == "measure" || kw == "reset" || kw == "if") {
+        error("'" + kw + "' is not supported (unitary circuits only)");
+    } else {
+        parseGateApplication();
+    }
+}
+
+void
+Qasm2Parser::parseQreg()
+{
+    advance(); // 'qreg'
+    if (cur_.kind != Tok::Ident)
+        error("expected register name");
+    const Token name_tok = cur_;
+    const std::string name = cur_.text;
+    advance();
+    expect(Tok::LBracket, "'['");
+    const int size = parseIntLit("register size", 0, kMaxRegisterSize);
+    expect(Tok::RBracket, "']'");
+    expect(Tok::Semi, "';'");
+    declareRegister(name, size, name_tok.line, name_tok.col);
+}
+
+void
+Qasm2Parser::parseCreg()
+{
+    advance(); // 'creg'
+    if (cur_.kind != Tok::Ident)
+        error("expected register name");
+    advance();
+    expect(Tok::LBracket, "'['");
+    parseIntLit("register size", 0, kMaxRegisterSize);
+    expect(Tok::RBracket, "']'");
+    expect(Tok::Semi, "';'");
+}
+
+} // namespace detail
+
+// --- Dialect detection and the public API ----------------------------
+
+Dialect
+detectDialect(const std::string &source)
+{
+    Lexer lex(source);
+    Token t = lex.next();
+    if (t.kind == Tok::Ident && t.text == "OPENQASM") {
+        const Token v = lex.next();
+        if (v.kind == Tok::Number)
+            return static_cast<int>(v.number) >= 3 ? Dialect::Qasm3
+                                                   : Dialect::Qasm2;
+        return Dialect::Qasm2;
+    }
+    // Headerless program: the first declaration keyword decides.
+    while (t.kind != Tok::End && t.kind != Tok::Error) {
+        if (t.kind == Tok::Ident) {
+            if (t.text == "qreg" || t.text == "creg")
+                return Dialect::Qasm2;
+            if (t.text == "qubit" || t.text == "bit")
+                return Dialect::Qasm3;
+        }
+        t = lex.next();
+    }
+    return Dialect::Qasm2;
+}
+
+namespace {
+
+template <typename ParserT>
+ParseResult
+runParser(const std::string &source, Dialect d, std::string file)
+{
+    ParseResult r;
+    r.dialect = d;
+    ParserT p(source, std::move(file));
+    try {
+        r.circuit = p.run();
+        r.ok = true;
+    } catch (const detail::ParseAbort &) {
+        r.error = p.error();
+    }
+    return r;
+}
+
+} // namespace
+
+ParseResult
+parseSource(const std::string &source, Dialect dialect, std::string file)
+{
+    const Dialect d =
+        dialect == Dialect::Auto ? detectDialect(source) : dialect;
+    if (d == Dialect::Qasm3)
+        return runParser<detail::Qasm3Parser>(source, d,
+                                              std::move(file));
+    return runParser<detail::Qasm2Parser>(source, d, std::move(file));
+}
+
+ParseResult
+parseSourceFile(const std::string &path, Dialect dialect)
+{
+    std::ifstream in(path);
+    if (!in) {
+        ParseResult r;
+        r.dialect = dialect == Dialect::Auto ? Dialect::Qasm2 : dialect;
+        r.error.file = path;
+        r.error.message = "cannot open file";
+        return r;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseSource(buf.str(), dialect, path);
+}
 
 ir::Circuit
 parse(const std::string &source)
 {
-    Parser p(source);
-    return p.parseProgram();
+    ParseResult r = parseSource(source);
+    if (!r.ok)
+        support::fatal("qasm: " + r.error.str());
+    return std::move(r.circuit);
 }
 
 ir::Circuit
 parseFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        support::fatal("qasm: cannot open " + path);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    return parse(buf.str());
+    ParseResult r = parseSourceFile(path);
+    if (!r.ok)
+        support::fatal("qasm: " + r.error.str());
+    return std::move(r.circuit);
 }
 
 } // namespace qasm

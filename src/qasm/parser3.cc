@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The OpenQASM 3.x grammar subset (see docs/FORMATS.md for the precise
+ * contract). Everything lowers onto the shared ParserBase machinery,
+ * so QASM 3 programs produce the same ir::Circuit a QASM 2 spelling
+ * of the circuit would.
+ */
+
+#include <cmath>
+
+#include "qasm/parser_detail.h"
+#include "support/logging.h"
+
+namespace guoq {
+namespace qasm {
+namespace detail {
+
+namespace {
+
+/** QASM 3 statement keywords we recognise only to reject, with a
+ *  uniform "unitary circuits only" diagnostic. */
+bool
+isRejectedKeyword(const std::string &kw)
+{
+    static const char *const kRejected[] = {
+        "measure", "reset",  "if",     "else",   "for",    "while",
+        "def",     "defcal", "cal",    "defcalgrammar",    "input",
+        "output",  "ctrl",   "negctrl", "inv",   "pow",    "box",
+        "delay",   "duration", "stretch", "let", "return", "extern",
+        "switch",  "break",  "continue", "end",
+    };
+    for (const char *r : kRejected)
+        if (kw == r)
+            return true;
+    return false;
+}
+
+} // namespace
+
+ir::Circuit
+Qasm3Parser::run()
+{
+    advance(); // prime the token stream
+    parseHeader();
+    while (cur_.kind != Tok::End)
+        parseStatement();
+    return finishCircuit();
+}
+
+void
+Qasm3Parser::parseHeader()
+{
+    if (!atIdent("OPENQASM"))
+        return;
+    advance();
+    if (cur_.kind != Tok::Number)
+        error("expected version number");
+    if (static_cast<int>(cur_.number) != 3)
+        error("OPENQASM " + cur_.text +
+              " is not supported by the qasm3 parser");
+    advance();
+    expect(Tok::Semi, "';'");
+}
+
+void
+Qasm3Parser::parseStatement()
+{
+    if (cur_.kind != Tok::Ident)
+        error("expected statement");
+    const std::string kw = cur_.text;
+    if (kw == "include") {
+        advance();
+        expect(Tok::String, "file name");
+        expect(Tok::Semi, "';'");
+    } else if (kw == "qubit") {
+        parseQubitDecl();
+    } else if (kw == "bit") {
+        // Classical bits are accepted and ignored so that published
+        // benchmark files parse; measurements are not.
+        parseBitDecl();
+    } else if (kw == "const") {
+        parseConstDecl();
+    } else if (kw == "gate") {
+        skipGateDefinition();
+    } else if (kw == "barrier") {
+        skipToSemi();
+    } else if (kw == "gphase") {
+        parseGphase();
+    } else if (kw == "qreg" || kw == "creg") {
+        error("'" + kw +
+              "' is OpenQASM 2 syntax; declare qubit[n]/bit[n]");
+    } else if (isRejectedKeyword(kw)) {
+        error("'" + kw +
+              "' is not supported (unitary circuits only; see "
+              "docs/FORMATS.md)");
+    } else {
+        parseGateApplication();
+    }
+}
+
+void
+Qasm3Parser::parseQubitDecl()
+{
+    advance(); // 'qubit'
+    int size = 1;
+    if (accept(Tok::LBracket)) {
+        size = parseIntLit("register size", 0, kMaxRegisterSize);
+        expect(Tok::RBracket, "']'");
+    }
+    if (cur_.kind != Tok::Ident)
+        error("expected register name");
+    const Token name_tok = cur_;
+    const std::string name = cur_.text;
+    advance();
+    expect(Tok::Semi, "';'");
+    declareRegister(name, size, name_tok.line, name_tok.col);
+}
+
+void
+Qasm3Parser::parseBitDecl()
+{
+    advance(); // 'bit'
+    if (accept(Tok::LBracket)) {
+        parseIntLit("register size", 0, kMaxRegisterSize);
+        expect(Tok::RBracket, "']'");
+    }
+    if (cur_.kind != Tok::Ident)
+        error("expected register name");
+    advance();
+    if (cur_.kind == Tok::Equals)
+        error("measurement assignment is not supported (unitary "
+              "circuits only)");
+    expect(Tok::Semi, "';'");
+}
+
+void
+Qasm3Parser::parseConstDecl()
+{
+    advance(); // 'const'
+    if (cur_.kind != Tok::Ident)
+        error("expected type name");
+    const std::string type = cur_.text;
+    if (type != "float" && type != "int" && type != "uint" &&
+        type != "angle")
+        error("unsupported const type '" + type +
+              "' (float/int/uint/angle only)");
+    advance();
+    if (accept(Tok::LBracket)) {
+        parseIntLit("type width", 1, 512);
+        expect(Tok::RBracket, "']'");
+    }
+    if (cur_.kind != Tok::Ident)
+        error("expected constant name");
+    const Token name_tok = cur_;
+    const std::string name = cur_.text;
+    advance();
+    expect(Tok::Equals, "'='");
+    double v = parseExpr();
+    expect(Tok::Semi, "';'");
+    if (type == "int" || type == "uint")
+        v = std::trunc(v);
+    if (consts_.count(name))
+        failAt(name_tok.line, name_tok.col,
+               "duplicate const '" + name + "'");
+    consts_[name] = v;
+}
+
+void
+Qasm3Parser::parseGphase()
+{
+    // A global phase is unobservable and every distance metric in this
+    // library (|Tr(U†V)|-based) is phase-invariant, so the angle is
+    // evaluated for validity and then dropped.
+    advance(); // 'gphase'
+    expect(Tok::LParen, "'('");
+    parseExpr();
+    expect(Tok::RParen, "')'");
+    expect(Tok::Semi, "';'");
+}
+
+} // namespace detail
+} // namespace qasm
+} // namespace guoq

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Shared machinery of the two dialect parsers (internal header).
+ *
+ * ParserBase owns the token stream, the recoverable-error plumbing
+ * (errors are thrown as ParseAbort and surfaced as a ParseError by the
+ * dispatch code in parser.cc), the constant-expression evaluator, the
+ * register table, and the gate-application grammar — everything the
+ * QASM 2 and QASM 3 grammars have in common. The dialect classes only
+ * add their own statement forms: Qasm2Parser lives in parser.cc,
+ * Qasm3Parser in parser3.cc.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/circuit.h"
+#include "qasm/lexer.h"
+#include "qasm/parser.h"
+
+namespace guoq {
+namespace qasm {
+namespace detail {
+
+/** Thrown on the first syntax error; the ParseError lives on the
+ *  parser, so this carries nothing. */
+struct ParseAbort
+{
+};
+
+/** Common state and grammar of both dialect parsers. */
+class ParserBase
+{
+  public:
+    /**
+     * @p src must outlive the parser; @p file labels error messages
+     * (empty for in-memory sources). The constructor never throws —
+     * run() reads the first token, so even a lexically broken prefix
+     * is reported through the normal ParseAbort path.
+     */
+    ParserBase(const std::string &src, std::string file)
+        : lexer_(src), file_(std::move(file))
+    {
+    }
+
+    /** The error recorded by the failed run (valid after ParseAbort). */
+    const ParseError &error() const { return err_; }
+
+  protected:
+    /** Largest accepted register size; guards ir::Circuit allocation
+     *  against absurd declarations. */
+    static constexpr int kMaxRegisterSize = 1 << 20;
+
+    [[noreturn]] void
+    failAt(int line, int col, std::string msg)
+    {
+        err_.file = file_;
+        err_.line = line;
+        err_.col = col;
+        err_.message = std::move(msg);
+        throw ParseAbort{};
+    }
+
+    /** Report @p msg at the current token. */
+    [[noreturn]] void
+    error(std::string msg)
+    {
+        failAt(cur_.line, cur_.col, std::move(msg));
+    }
+
+    void
+    advance()
+    {
+        cur_ = lexer_.next();
+        if (cur_.kind == Tok::Error)
+            failAt(cur_.line, cur_.col, cur_.text);
+    }
+
+    void expect(Tok k, const char *what);
+    bool accept(Tok k);
+
+    /** True when the current token is the identifier @p kw. */
+    bool
+    atIdent(const char *kw) const
+    {
+        return cur_.kind == Tok::Ident && cur_.text == kw;
+    }
+
+    /** Current Number token as an integer in [min, max]; advances. */
+    int parseIntLit(const char *what, int min, int max);
+
+    /** @name Constant-expression grammar (angle parameters)
+     *  expr := term (('+'|'-') term)*
+     *  term := factor (('*'|'/') factor)*
+     *  factor := '-' factor | number | 'pi' | 'tau' | 'euler'
+     *          | const-name | '(' expr ')'
+     */
+    /** @{ */
+    double parseExpr();
+    double parseTerm();
+    double parseFactor();
+    /** @} */
+
+    /** Declare a quantum register of @p size qubits (@p line/@p col
+     *  locate the name for the duplicate-declaration error). */
+    void declareRegister(const std::string &name, int size, int line,
+                         int col);
+
+    /**
+     * One gate application statement: `name[(params)] operands ;`.
+     * Handles name aliases (U/u/p/phase/cphase/CX), identity no-ops
+     * (id/u0), single-qubit broadcast over a whole register, and
+     * arity / parameter-count / duplicate-operand validation.
+     */
+    void parseGateApplication();
+
+    /** Skip a whole `gate name(...) qs { ... }` definition. */
+    void skipGateDefinition();
+
+    /** Skip tokens up to and including the next ';'. */
+    void skipToSemi();
+
+    /** The finished circuit over all declared registers. */
+    ir::Circuit finishCircuit();
+
+    Token cur_;
+    std::map<std::string, double> consts_; //!< QASM 3 const bindings
+
+  private:
+    /** One gate operand: a single qubit, or a whole register. */
+    struct Operand
+    {
+        int first = 0; //!< flat index of the first qubit
+        int count = 1; //!< 1 for q[i]; register size for bare `q`
+    };
+
+    Operand parseOperand();
+
+    Lexer lexer_;
+    std::string file_;
+    ParseError err_;
+    std::map<std::string, int> registerStart_;
+    std::map<std::string, int> registerSize_;
+    int totalQubits_ = 0;
+    std::vector<ir::Gate> pending_;
+};
+
+/** The OpenQASM 2.0 grammar (qreg/creg, qelib1-style programs). */
+class Qasm2Parser : public ParserBase
+{
+  public:
+    using ParserBase::ParserBase;
+
+    /** Parse a whole program; throws ParseAbort on the first error. */
+    ir::Circuit run();
+
+  private:
+    void parseHeader();
+    void parseStatement();
+    void parseQreg();
+    void parseCreg();
+};
+
+/** The OpenQASM 3.x grammar subset (qubit/bit, stdgates, const). */
+class Qasm3Parser : public ParserBase
+{
+  public:
+    using ParserBase::ParserBase;
+
+    /** Parse a whole program; throws ParseAbort on the first error. */
+    ir::Circuit run();
+
+  private:
+    void parseHeader();
+    void parseStatement();
+    void parseQubitDecl();
+    void parseBitDecl();
+    void parseConstDecl();
+    void parseGphase();
+};
+
+} // namespace detail
+} // namespace qasm
+} // namespace guoq

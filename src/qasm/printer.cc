@@ -21,8 +21,10 @@ angle(double v)
 }
 
 /**
- * Header snippets for the gates qelib1.inc does not define. Each is a
- * self-contained `gate` declaration in terms of qelib1 primitives.
+ * Header snippets for the gates neither qelib1.inc nor stdgates.inc
+ * defines. Each is a self-contained `gate` declaration in terms of
+ * primitives both include files provide; the declaration syntax is
+ * identical in both dialects.
  */
 const char *const kExtraDefs =
     "gate sxdg a { s a; h a; s a; }\n"
@@ -49,14 +51,24 @@ needsExtraDefs(const ir::Circuit &c)
 } // namespace
 
 std::string
-toQasm(const ir::Circuit &c)
+toQasm(const ir::Circuit &c, Dialect dialect)
 {
+    const bool q3 = dialect == Dialect::Qasm3;
     std::ostringstream os;
-    os << "OPENQASM 2.0;\n";
-    os << "include \"qelib1.inc\";\n";
+    if (q3)
+        os << "OPENQASM 3.0;\ninclude \"stdgates.inc\";\n";
+    else
+        os << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
     if (needsExtraDefs(c))
         os << kExtraDefs;
-    os << "qreg q[" << c.numQubits() << "];\n";
+    if (q3) {
+        // qubit[0] would declare nothing; an empty circuit has no
+        // register line (and parses back to an empty circuit).
+        if (c.numQubits() > 0)
+            os << "qubit[" << c.numQubits() << "] q;\n";
+    } else {
+        os << "qreg q[" << c.numQubits() << "];\n";
+    }
     for (const ir::Gate &g : c.gates()) {
         os << ir::gateName(g.kind);
         if (!g.params.empty()) {
@@ -80,12 +92,13 @@ toQasm(const ir::Circuit &c)
 }
 
 void
-writeQasmFile(const ir::Circuit &c, const std::string &path)
+writeQasmFile(const ir::Circuit &c, const std::string &path,
+              Dialect dialect)
 {
     std::ofstream out(path);
     if (!out)
         support::fatal("writeQasmFile: cannot open " + path);
-    out << toQasm(c);
+    out << toQasm(c, dialect);
     if (!out)
         support::fatal("writeQasmFile: write failed for " + path);
 }

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "qasm/parser.h"
 #include "qasm/printer.h"
@@ -99,6 +102,118 @@ TEST(QasmParser, SkipsGateDefinitions)
     )");
     ASSERT_EQ(c.size(), 1u);
     EXPECT_EQ(c.gate(0).kind, ir::GateKind::T);
+}
+
+TEST(QasmParser, BroadcastsSingleQubitGatesOverRegisters)
+{
+    const ir::Circuit c = qasm::parse("qreg q[3]; h q; x q[1];");
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_EQ(c.gate(0).kind, ir::GateKind::H);
+    EXPECT_EQ(c.gate(2).qubits[0], 2);
+}
+
+TEST(QasmParser, ResolvesAliasNames)
+{
+    // U/u are the builtin u3 matrix; p/phase are u1; id is a no-op.
+    const ir::Circuit c = qasm::parse(
+        "qreg q[2]; U(0.1, 0.2, 0.3) q[0]; p(0.5) q[1]; id q[0]; "
+        "CX q[0], q[1];");
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.gate(0).kind, ir::GateKind::U3);
+    EXPECT_EQ(c.gate(1).kind, ir::GateKind::U1);
+    EXPECT_EQ(c.gate(2).kind, ir::GateKind::CX);
+}
+
+TEST(QasmParseResult, ReportsLineAndColumn)
+{
+    const qasm::ParseResult r =
+        qasm::parseSource("qreg q[2];\nh q[5];\n");
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.dialect, qasm::Dialect::Qasm2);
+    EXPECT_EQ(r.error.line, 2);
+    EXPECT_EQ(r.error.col, 5); // the offending index literal
+    EXPECT_NE(r.error.message.find("out of range"), std::string::npos);
+    // In-memory sources have no file, so str() spells the position.
+    EXPECT_NE(r.error.str().find("line 2"), std::string::npos);
+}
+
+TEST(QasmParseResult, RecoverableLexicalError)
+{
+    const qasm::ParseResult r = qasm::parseSource("qreg q[1];\nh @;\n");
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.error.line, 2);
+    EXPECT_NE(r.error.message.find("unexpected character"),
+              std::string::npos);
+}
+
+TEST(QasmParseResult, RejectsMalformedNumbers)
+{
+    // stod parses the longest valid prefix; the lexer must reject the
+    // whole spelling, not silently truncate 1.5.7 to 1.5.
+    const qasm::ParseResult r =
+        qasm::parseSource("qreg q[1]; rx(1.5.7) q[0];");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.message.find("malformed number"),
+              std::string::npos);
+    EXPECT_FALSE(qasm::parseSource("qreg q[1]; rx(2e) q[0];").ok);
+}
+
+TEST(QasmParseResult, IdentityAliasesValidateParameterCounts)
+{
+    EXPECT_TRUE(qasm::parseSource("qreg q[1]; id q[0];").ok);
+    EXPECT_TRUE(qasm::parseSource("qreg q[1]; u0(1) q[0];").ok);
+    EXPECT_FALSE(qasm::parseSource("qreg q[1]; id(0.3) q[0];").ok);
+    EXPECT_FALSE(qasm::parseSource("qreg q[1]; u0 q[0];").ok);
+}
+
+TEST(QasmParseResult, RejectsDuplicateQubitOperands)
+{
+    const qasm::ParseResult r =
+        qasm::parseSource("qreg q[2]; cx q[0], q[0];");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.message.find("same qubit"), std::string::npos);
+}
+
+TEST(QasmParseResult, FileErrorsCarryThePath)
+{
+    const std::string path =
+        testing::TempDir() + "guoq_qasm_bad_input.qasm";
+    {
+        std::ofstream out(path);
+        out << "qreg q[1];\nbadgate q[0];\n";
+    }
+    const qasm::ParseResult r = qasm::parseSourceFile(path);
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.error.file, path);
+    EXPECT_EQ(r.error.line, 2);
+    EXPECT_EQ(r.error.col, 1);
+    // The rendered diagnostic names the offending file (the batch
+    // driver prints exactly this).
+    EXPECT_NE(r.error.str().find(path), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(QasmParseResult, MissingFileReportsPathWithoutPosition)
+{
+    const qasm::ParseResult r =
+        qasm::parseSourceFile("/no/such/dir/missing.qasm");
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.error.line, 0);
+    EXPECT_NE(r.error.str().find("missing.qasm"), std::string::npos);
+    EXPECT_NE(r.error.str().find("cannot open"), std::string::npos);
+}
+
+TEST(QasmParseResult, LegacyParseFileFatalNamesThePath)
+{
+    const std::string path =
+        testing::TempDir() + "guoq_qasm_bad_legacy.qasm";
+    {
+        std::ofstream out(path);
+        out << "qreg q[1];\nbadgate q[0];\n";
+    }
+    EXPECT_EXIT(qasm::parseFile(path), ::testing::ExitedWithCode(1),
+                "bad_legacy\\.qasm:2:1");
+    std::remove(path.c_str());
 }
 
 TEST(QasmParser, RejectsMeasurement)

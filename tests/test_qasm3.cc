@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the OpenQASM 3 front-end: dialect detection, the qasm3
+ * grammar subset (qubit/bit declarations, U/gphase, const
+ * expressions, stdgates names), qasm2 <-> qasm3 round trips that
+ * preserve the unitary, and recoverable error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "qasm/parser.h"
+#include "qasm/printer.h"
+#include "sim/unitary_sim.h"
+#include "tests/test_util.h"
+#include "workloads/standard.h"
+
+namespace guoq {
+namespace {
+
+using qasm::Dialect;
+
+// Round trips are held to a stronger standard than any distance
+// threshold: parameters print with 17 digits, so the parsed-back gate
+// list must be bit-for-bit equal to the original — the unitaries are
+// then literally identical (distance 0), which is what the "<= 1e-9"
+// acceptance bar means. Distance checks use testutil::kExact because
+// the HS metric itself only resolves to ~1e-8 on equal inputs.
+
+TEST(QasmDialect, NamesRoundTrip)
+{
+    for (Dialect d : {Dialect::Auto, Dialect::Qasm2, Dialect::Qasm3}) {
+        Dialect back{};
+        ASSERT_TRUE(qasm::dialectFromName(qasm::dialectName(d), &back));
+        EXPECT_EQ(back, d);
+    }
+    Dialect out{};
+    EXPECT_FALSE(qasm::dialectFromName("qasm4", &out));
+}
+
+TEST(QasmDialect, DetectsFromVersionHeader)
+{
+    EXPECT_EQ(qasm::detectDialect("OPENQASM 2.0;\nqreg q[1];"),
+              Dialect::Qasm2);
+    EXPECT_EQ(qasm::detectDialect("OPENQASM 3;\nqubit[1] q;"),
+              Dialect::Qasm3);
+    EXPECT_EQ(qasm::detectDialect("OPENQASM 3.1;"), Dialect::Qasm3);
+}
+
+TEST(QasmDialect, DetectsHeaderlessFromDeclarationKeyword)
+{
+    EXPECT_EQ(qasm::detectDialect("qreg q[2]; h q[0];"),
+              Dialect::Qasm2);
+    EXPECT_EQ(qasm::detectDialect("// comment\nqubit[2] q; h q[0];"),
+              Dialect::Qasm3);
+    EXPECT_EQ(qasm::detectDialect("bit[2] c; qubit[2] q;"),
+              Dialect::Qasm3);
+    // Nothing to go on: the historical default.
+    EXPECT_EQ(qasm::detectDialect(""), Dialect::Qasm2);
+}
+
+TEST(Qasm3Parser, ParsesDeclarationsAndGates)
+{
+    const qasm::ParseResult r = qasm::parseSource(R"(
+        OPENQASM 3.0;
+        include "stdgates.inc";
+        qubit[2] q;
+        bit[2] c;
+        h q[0];
+        cx q[0], q[1];
+        rz(pi/2) q[1];
+    )");
+    ASSERT_TRUE(r.ok) << r.error.str();
+    EXPECT_EQ(r.dialect, Dialect::Qasm3);
+    ASSERT_EQ(r.circuit.size(), 3u);
+    EXPECT_EQ(r.circuit.numQubits(), 2);
+    EXPECT_EQ(r.circuit.gate(1).kind, ir::GateKind::CX);
+}
+
+TEST(Qasm3Parser, SizelessQubitDeclaresOneQubit)
+{
+    const qasm::ParseResult r =
+        qasm::parseSource("OPENQASM 3;\nqubit a;\nqubit b;\nx b;\n");
+    ASSERT_TRUE(r.ok) << r.error.str();
+    EXPECT_EQ(r.circuit.numQubits(), 2);
+    ASSERT_EQ(r.circuit.size(), 1u);
+    EXPECT_EQ(r.circuit.gate(0).qubits[0], 1);
+}
+
+TEST(Qasm3Parser, UBuiltinIsU3)
+{
+    const qasm::ParseResult r = qasm::parseSource(
+        "OPENQASM 3;\nqubit[1] q;\nU(0.1, 0.2, 0.3) q[0];\n");
+    ASSERT_TRUE(r.ok) << r.error.str();
+    ir::Circuit want(1);
+    want.u3(0.1, 0.2, 0.3, 0);
+    EXPECT_LT(sim::circuitDistance(r.circuit, want), testutil::kExact);
+}
+
+TEST(Qasm3Parser, GphaseIsValidatedAndDropped)
+{
+    // Global phase is unobservable under the |Tr(U†V)| metric, so
+    // gphase parses (with a checked angle) and lowers to nothing.
+    const qasm::ParseResult r = qasm::parseSource(
+        "OPENQASM 3;\nqubit[1] q;\ngphase(pi/4);\nh q[0];\n");
+    ASSERT_TRUE(r.ok) << r.error.str();
+    ASSERT_EQ(r.circuit.size(), 1u);
+    ir::Circuit want(1);
+    want.h(0);
+    EXPECT_LT(sim::circuitDistance(r.circuit, want), testutil::kExact);
+
+    const qasm::ParseResult bad = qasm::parseSource(
+        "OPENQASM 3;\nqubit[1] q;\ngphase(1/0);\n");
+    ASSERT_FALSE(bad.ok);
+    EXPECT_NE(bad.error.message.find("division by zero"),
+              std::string::npos);
+}
+
+TEST(Qasm3Parser, ConstDeclarationsFeedAngleExpressions)
+{
+    const qasm::ParseResult r = qasm::parseSource(R"(
+        OPENQASM 3;
+        qubit[1] q;
+        const float[64] theta = pi / 4;
+        const int steps = 2;
+        rz(theta * steps) q[0];
+        rx(tau / 8) q[0];
+    )");
+    ASSERT_TRUE(r.ok) << r.error.str();
+    ASSERT_EQ(r.circuit.size(), 2u);
+    EXPECT_NEAR(r.circuit.gate(0).params[0], M_PI / 2, 1e-12);
+    EXPECT_NEAR(r.circuit.gate(1).params[0], M_PI / 4, 1e-12);
+}
+
+TEST(Qasm3Parser, StdgatesNamesMapOntoNativeKinds)
+{
+    const qasm::ParseResult r = qasm::parseSource(R"(
+        OPENQASM 3;
+        qubit[2] q;
+        p(0.5) q[0];
+        phase(0.25) q[1];
+        cphase(0.75) q[0], q[1];
+        id q[0];
+        sx q[1];
+    )");
+    ASSERT_TRUE(r.ok) << r.error.str();
+    ASSERT_EQ(r.circuit.size(), 4u); // id is dropped
+    EXPECT_EQ(r.circuit.gate(0).kind, ir::GateKind::U1);
+    EXPECT_EQ(r.circuit.gate(1).kind, ir::GateKind::U1);
+    EXPECT_EQ(r.circuit.gate(2).kind, ir::GateKind::CP);
+    EXPECT_EQ(r.circuit.gate(3).kind, ir::GateKind::SX);
+}
+
+TEST(Qasm3Parser, BroadcastAndBlockComments)
+{
+    const qasm::ParseResult r = qasm::parseSource(
+        "OPENQASM 3;\nqubit[3] q;\n/* spanning\n   comment */\nh q;\n");
+    ASSERT_TRUE(r.ok) << r.error.str();
+    EXPECT_EQ(r.circuit.size(), 3u);
+}
+
+TEST(Qasm3Parser, RejectsMeasurementWithLocation)
+{
+    const qasm::ParseResult r = qasm::parseSource(
+        "OPENQASM 3;\nqubit[2] q;\nbit[2] c;\nmeasure q[0];\n");
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.error.line, 4);
+    EXPECT_EQ(r.error.col, 1);
+    EXPECT_NE(r.error.message.find("measure"), std::string::npos);
+}
+
+TEST(Qasm3Parser, RejectsQasm2RegistersWithHint)
+{
+    const qasm::ParseResult r =
+        qasm::parseSource("OPENQASM 3;\nqreg q[2];\n");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.message.find("OpenQASM 2"), std::string::npos);
+}
+
+TEST(Qasm3Parser, RejectsUnterminatedConstructs)
+{
+    const qasm::ParseResult str = qasm::parseSource(
+        "OPENQASM 3;\ninclude \"stdgates.inc\nqubit[1] q;\n");
+    ASSERT_FALSE(str.ok);
+    EXPECT_NE(str.error.message.find("unterminated string"),
+              std::string::npos);
+
+    const qasm::ParseResult cmt =
+        qasm::parseSource("OPENQASM 3;\nqubit[1] q;\n/* oops\n");
+    ASSERT_FALSE(cmt.ok);
+    EXPECT_NE(cmt.error.message.find("unterminated block comment"),
+              std::string::npos);
+}
+
+TEST(Qasm3Parser, ForcedDialectMismatchIsAnError)
+{
+    const qasm::ParseResult r = qasm::parseSource(
+        "OPENQASM 3;\nqubit[1] q;\n", Dialect::Qasm2);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.message.find("qasm2 parser"), std::string::npos);
+}
+
+TEST(Qasm3Printer, EmitsHeaderAndQubitDecl)
+{
+    ir::Circuit c(3);
+    c.h(0);
+    c.rxx(0.3, 0, 1);
+    const std::string q = qasm::toQasm(c, Dialect::Qasm3);
+    EXPECT_NE(q.find("OPENQASM 3.0;"), std::string::npos);
+    EXPECT_NE(q.find("include \"stdgates.inc\";"), std::string::npos);
+    EXPECT_NE(q.find("qubit[3] q;"), std::string::npos);
+    EXPECT_NE(q.find("gate rxx"), std::string::npos);
+    EXPECT_EQ(q.find("qreg"), std::string::npos);
+}
+
+TEST(Qasm3Printer, EmptyCircuitRoundTrips)
+{
+    const std::string q = qasm::toQasm(ir::Circuit(0), Dialect::Qasm3);
+    const qasm::ParseResult r = qasm::parseSource(q);
+    ASSERT_TRUE(r.ok) << r.error.str();
+    EXPECT_EQ(r.dialect, Dialect::Qasm3);
+    EXPECT_EQ(r.circuit.numQubits(), 0);
+    EXPECT_TRUE(r.circuit.empty());
+}
+
+/**
+ * The acceptance bar of this front-end: a circuit printed as qasm2,
+ * converted to qasm3 (or printed as qasm3 directly), and parsed back
+ * through the auto-detected qasm3 path is the same unitary to 1e-9.
+ */
+class Qasm3RoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Qasm3RoundTrip, Qasm2ToQasm3PreservesUnitary)
+{
+    support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 11);
+    const auto sets = ir::allGateSets();
+    const ir::GateSetKind set =
+        sets[static_cast<std::size_t>(GetParam()) % sets.size()];
+    const ir::Circuit c = testutil::randomNativeCircuit(set, 5, 30, rng);
+
+    // qasm2 text -> circuit -> qasm3 text -> circuit, all auto-detected.
+    const qasm::ParseResult q2 = qasm::parseSource(qasm::toQasm(c));
+    ASSERT_TRUE(q2.ok) << q2.error.str();
+    ASSERT_EQ(q2.dialect, Dialect::Qasm2);
+    const qasm::ParseResult q3 =
+        qasm::parseSource(qasm::toQasm(q2.circuit, Dialect::Qasm3));
+    ASSERT_TRUE(q3.ok) << q3.error.str();
+    ASSERT_EQ(q3.dialect, Dialect::Qasm3);
+    // Bit-for-bit: identical gates mean an identical unitary, which
+    // is stronger than any epsilon on the noise-floored HS metric.
+    EXPECT_TRUE(q3.circuit.gates() == c.gates());
+    EXPECT_LT(sim::circuitDistance(c, q3.circuit), testutil::kExact);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSets, Qasm3RoundTrip,
+                         ::testing::Range(0, 15));
+
+TEST(Qasm3RoundTripWorkloads, QftSurvives)
+{
+    const ir::Circuit c = workloads::qft(6);
+    const qasm::ParseResult back =
+        qasm::parseSource(qasm::toQasm(c, Dialect::Qasm3));
+    ASSERT_TRUE(back.ok) << back.error.str();
+    EXPECT_EQ(back.dialect, Dialect::Qasm3);
+    EXPECT_TRUE(back.circuit.gates() == c.gates());
+    EXPECT_LT(sim::circuitDistance(c, back.circuit), testutil::kExact);
+}
+
+TEST(Qasm3RoundTripWorkloads, ToffoliChainSurvives)
+{
+    const ir::Circuit c = workloads::barencoTof(3);
+    const qasm::ParseResult back =
+        qasm::parseSource(qasm::toQasm(c, Dialect::Qasm3));
+    ASSERT_TRUE(back.ok) << back.error.str();
+    EXPECT_TRUE(back.circuit.gates() == c.gates());
+    EXPECT_LT(sim::circuitDistance(c, back.circuit), testutil::kExact);
+}
+
+} // namespace
+} // namespace guoq

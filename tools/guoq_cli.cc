@@ -1,6 +1,8 @@
 /**
  * @file
- * Command-line driver: OpenQASM 2.0 in, optimized OpenQASM 2.0 out.
+ * Command-line driver: OpenQASM 2.0/3.x in, optimized OpenQASM out.
+ *
+ * Single-file mode (the default) reads one circuit and writes one:
  *
  *   guoq_cli --in circuit.qasm --out optimized.qasm \
  *            --gate-set nam --objective 2q-count \
@@ -9,24 +11,51 @@
  * `--in -` (the default) reads the program from stdin; `--out -` (the
  * default) writes to stdout. Progress and statistics go to stderr so
  * the QASM stream stays pipeable.
+ *
+ * Batch mode drives a whole suite through one process:
+ *
+ *   guoq_cli --batch suite/ --out-dir suite-opt --jobs 4 --time 5
+ *
+ * Every *.qasm under the directory is discovered recursively, each
+ * file is optimized (--jobs files concurrently, each as a --threads
+ * portfolio), outputs mirror the input tree under --out-dir, and a
+ * `guoq-batch-v1` JSON summary is written. A malformed file marks
+ * that file failed (with a file:line:col diagnostic) but never aborts
+ * the rest of the suite.
+ *
+ * Exit codes: 0 success; 1 runtime failure (parse/verify errors, or a
+ * batch with failed files unless --keep-going); 2 usage errors. The
+ * full CLI contract lives in README.md and docs/FORMATS.md.
  */
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "bench/emit.h"
 #include "core/portfolio.h"
 #include "ir/gate_set.h"
 #include "qasm/parser.h"
 #include "qasm/printer.h"
 #include "sim/unitary_sim.h"
+#include "support/logging.h"
+#include "support/table.h"
 
 namespace {
 
+namespace fs = std::filesystem;
 using namespace guoq;
 
 void
@@ -36,18 +65,39 @@ usage(const char *argv0)
         stderr,
         "usage: %s [options]\n"
         "\n"
-        "Optimize an OpenQASM 2.0 circuit with GUOQ.\n"
+        "Optimize OpenQASM 2.0/3.x circuits with GUOQ. Full reference:\n"
+        "README.md; input/output format contract: docs/FORMATS.md.\n"
         "\n"
-        "options:\n"
+        "input/output:\n"
         "  --in FILE        input QASM file, or - for stdin (default -)\n"
         "  --out FILE       output QASM file, or - for stdout (default -)\n"
+        "  --dialect D      input dialect: auto | qasm2 | qasm3\n"
+        "                   (default auto: detect from the OPENQASM\n"
+        "                   version line)\n"
+        "  --out-dialect D  output dialect: auto | qasm2 | qasm3\n"
+        "                   (default auto: match the input dialect)\n"
+        "\n"
+        "batch mode:\n"
+        "  --batch DIR      optimize every *.qasm under DIR (recursive);\n"
+        "                   excludes --in/--out\n"
+        "  --out-dir DIR    output root mirroring the input tree\n"
+        "                   (default: <batch-dir>-opt)\n"
+        "  --jobs N         files optimized concurrently (default 1;\n"
+        "                   total worker threads = jobs x threads)\n"
+        "  --keep-going     exit 0 even when some files fail (failures\n"
+        "                   still reported per file and in the summary)\n"
+        "  --summary FILE   guoq-batch-v1 JSON summary path, - for\n"
+        "                   stdout (default <out-dir>/summary.json)\n"
+        "\n"
+        "optimization:\n"
         "  --gate-set S     ibmq20 | ibm-eagle | ionq | nam | cliffordt\n"
         "                   (default nam)\n"
         "  --objective O    2q-count | t-count | 2t+cx | fidelity |\n"
         "                   gate-count | depth  (default 2q-count)\n"
         "  --epsilon E      total approximation budget eps_f; 0 keeps\n"
         "                   the run exact (default 0)\n"
-        "  --time T         wall-clock budget in seconds (default 10)\n"
+        "  --time T         wall-clock budget in seconds, per file\n"
+        "                   (default 10)\n"
         "  --threads N      portfolio worker threads (default 1)\n"
         "  --seed S         base RNG seed (default 1)\n"
         "  --iterations K   iteration cap per worker; without an\n"
@@ -55,7 +105,8 @@ usage(const char *argv0)
         "                   the search stops, making runs reproducible\n"
         "                   (default: none, run until --time)\n"
         "  --verify         recompute the Hilbert-Schmidt distance of\n"
-        "                   the result against the input (<= 10 qubits)\n"
+        "                   the result against the input (<= 10 qubits;\n"
+        "                   batch mode skips larger files with a note)\n"
         "  --quiet          suppress the stderr report\n"
         "  -h, --help       show this message\n",
         argv0);
@@ -88,11 +139,20 @@ parseObjective(const std::string &name, core::Objective &out)
     return false;
 }
 
+/** Usage error: bad flags/values. Exits 2 per the CLI contract. */
 [[noreturn]] void
 die(const std::string &msg)
 {
     std::fprintf(stderr, "guoq_cli: %s\n", msg.c_str());
     std::exit(2);
+}
+
+/** Runtime failure (I/O, environment). Exits 1 per the contract. */
+[[noreturn]] void
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "guoq_cli: %s\n", msg.c_str());
+    std::exit(1);
 }
 
 /** Strict numeric parses: reject trailing garbage instead of
@@ -136,115 +196,336 @@ readAll(std::istream &in)
     return out.str();
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+/** Everything the flag parser produces. */
+struct CliOptions
 {
-    constexpr double kMaxTimeSeconds = 1e7;
-    std::string in_path = "-";
-    std::string out_path = "-";
+    std::string inPath = "-";
+    std::string outPath = "-";
+    std::string batchDir;
+    std::string outDir;
+    std::string summaryPath;
+    qasm::Dialect inDialect = qasm::Dialect::Auto;
+    qasm::Dialect outDialect = qasm::Dialect::Auto;
     ir::GateSetKind set = ir::GateSetKind::Nam;
     core::PortfolioConfig cfg;
-    cfg.base.epsilonTotal = 0;
-    cfg.base.timeBudgetSeconds = 10.0;
-    cfg.base.seed = 1;
+    int jobs = 1;
+    bool keepGoing = false;
     bool verify = false;
     bool quiet = false;
-    bool explicit_time = false;
+};
 
-    auto value = [&](int &i) -> std::string {
-        if (i + 1 >= argc)
-            die(std::string(argv[i]) + " expects a value");
-        return argv[++i];
-    };
+double
+secondsSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "-h" || arg == "--help") {
-            usage(argv[0]);
-            return 0;
-        } else if (arg == "--in") {
-            in_path = value(i);
-        } else if (arg == "--out") {
-            out_path = value(i);
-        } else if (arg == "--gate-set") {
-            const std::string name = value(i);
-            if (!parseGateSet(name, set))
-                die("unknown gate set '" + name + "'");
-        } else if (arg == "--objective") {
-            const std::string name = value(i);
-            if (!parseObjective(name, cfg.base.objective))
-                die("unknown objective '" + name + "'");
-        } else if (arg == "--epsilon") {
-            cfg.base.epsilonTotal = parseDouble(arg, value(i));
-            // !(>= 0) also rejects NaN, which would otherwise disable
-            // every budget comparison in the optimizer.
-            if (!(cfg.base.epsilonTotal >= 0) ||
-                !std::isfinite(cfg.base.epsilonTotal))
-                die("--epsilon must be a finite value >= 0");
-        } else if (arg == "--time") {
-            cfg.base.timeBudgetSeconds = parseDouble(arg, value(i));
-            // The upper bound keeps Deadline's double-to-clock-duration
-            // conversion representable; NaN/inf/huge would overflow it
-            // into an already-expired deadline (silent 0-iteration run).
-            if (!(cfg.base.timeBudgetSeconds > 0) ||
-                cfg.base.timeBudgetSeconds > kMaxTimeSeconds)
-                die("--time must be in (0, 1e7] seconds");
-            explicit_time = true;
-        } else if (arg == "--threads") {
-            const long n = parseLong(arg, value(i));
-            if (n < 1 || n > 1024)
-                die("--threads must be in [1, 1024]");
-            cfg.threads = static_cast<int>(n);
-        } else if (arg == "--seed") {
-            cfg.base.seed = parseSeed(arg, value(i));
-        } else if (arg == "--iterations") {
-            cfg.base.maxIterations = parseLong(arg, value(i));
-            // 0 would emit the input unchanged (silent no-op); omit
-            // the flag entirely for an unlimited run.
-            if (cfg.base.maxIterations < 1)
-                die("--iterations must be >= 1");
-        } else if (arg == "--verify") {
-            verify = true;
-        } else if (arg == "--quiet") {
-            quiet = true;
-        } else {
-            usage(argv[0]);
-            die("unknown argument '" + arg + "'");
-        }
+/** The output dialect for an input parsed as @p in. */
+qasm::Dialect
+outputDialect(const CliOptions &opt, qasm::Dialect in)
+{
+    return opt.outDialect == qasm::Dialect::Auto ? in : opt.outDialect;
+}
+
+// --- batch mode ------------------------------------------------------
+
+/** Canonical form for containment tests: resolves `.`/`..`, relative
+ *  spellings, and symlinked prefixes where they exist. */
+fs::path
+canonicalish(const fs::path &p)
+{
+    std::error_code ec;
+    fs::path c = fs::weakly_canonical(p, ec);
+    return ec ? p.lexically_normal() : c;
+}
+
+/** True when @p p lives under the directory whose *canonicalized*
+ *  form is @p canonRoot (canonicalize the root once, not per call —
+ *  it costs filesystem stats). */
+bool
+isUnder(const fs::path &p, const fs::path &canonRoot)
+{
+    const fs::path rel = canonicalish(p).lexically_relative(canonRoot);
+    return !rel.empty() && rel.native() != ".." &&
+           *rel.begin() != "..";
+}
+
+/**
+ * Optimize one discovered file; never aborts — every failure mode
+ * comes back as a status in the entry.
+ */
+bench::BatchFileEntry
+processFile(const fs::path &in, const fs::path &root,
+            const fs::path &outRoot, const CliOptions &opt)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const fs::path rel = in.lexically_relative(root);
+    bench::BatchFileEntry e;
+    e.file = rel.generic_string();
+
+    qasm::ParseResult pr =
+        qasm::parseSourceFile(in.string(), opt.inDialect);
+    e.dialect = qasm::dialectName(pr.dialect);
+    if (!pr.ok) {
+        e.status = "parse_error";
+        e.line = pr.error.line;
+        e.col = pr.error.col;
+        e.message = pr.error.message;
+        e.seconds = secondsSince(t0);
+        return e;
     }
 
-    // An iteration cap without an explicit --time means "reproducible
-    // run": lift the default 10 s budget so the cap — not machine
-    // speed — decides where the search stops.
-    if (cfg.base.maxIterations >= 0 && !explicit_time)
-        cfg.base.timeBudgetSeconds = kMaxTimeSeconds;
+    const ir::Circuit &input = pr.circuit;
+    e.qubits = input.numQubits();
+    e.gatesBefore = input.size();
+    e.twoQubitBefore = input.twoQubitGateCount();
 
-    const ir::Circuit input =
-        in_path == "-" ? qasm::parse(readAll(std::cin))
-                       : qasm::parseFile(in_path);
+    const core::PortfolioResult result =
+        core::optimizePortfolio(input, opt.set, opt.cfg);
+    e.gatesAfter = result.best.size();
+    e.twoQubitAfter = result.best.twoQubitGateCount();
+    e.errorBound = result.errorBound;
+
+    if (opt.verify && input.numQubits() <= 10) {
+        const double d = sim::circuitDistance(input, result.best);
+        if (d > opt.cfg.base.epsilonTotal + 1e-6) {
+            e.status = "verify_failed";
+            e.message = support::strcat(
+                "verification failed: HS distance ", d,
+                " exceeds budget ", opt.cfg.base.epsilonTotal);
+            e.seconds = secondsSince(t0);
+            return e;
+        }
+    } else if (opt.verify) {
+        e.message = "verify skipped: more than 10 qubits";
+    }
+
+    const fs::path outPath = outRoot / rel;
+    std::error_code ec;
+    fs::create_directories(outPath.parent_path(), ec);
+    std::ofstream out(outPath);
+    if (out) {
+        out << qasm::toQasm(result.best,
+                            outputDialect(opt, pr.dialect));
+        // close() forces the flush so a full disk surfaces here, not
+        // in the destructor where the failure would be invisible.
+        out.close();
+    }
+    if (!out) {
+        e.status = "write_error";
+        e.message = "cannot write " + outPath.generic_string();
+        e.seconds = secondsSince(t0);
+        return e;
+    }
+    e.status = "ok";
+    e.output = outPath.generic_string();
+    e.seconds = secondsSince(t0);
+    return e;
+}
+
+int
+runBatch(const CliOptions &opt)
+{
+    // Normalize away a trailing slash so the default output root is
+    // the documented sibling `<DIR>-opt`, not `<DIR>/-opt`.
+    fs::path root = fs::path(opt.batchDir).lexically_normal();
+    if (!root.has_filename())
+        root = root.parent_path();
+    std::error_code ec;
+    if (!fs::is_directory(root, ec))
+        die("--batch: not a directory: " + opt.batchDir);
+    const fs::path outRoot = opt.outDir.empty()
+                                 ? fs::path(root.string() + "-opt")
+                                 : fs::path(opt.outDir);
+    const fs::path outCanon = canonicalish(outRoot);
+
+    // Discover the suite. The output tree is excluded so that a
+    // nested --out-dir (or a rerun over the same directory) does not
+    // re-optimize its own results. Iteration uses the non-throwing
+    // overloads throughout: a directory vanishing mid-scan (another
+    // process cleaning up) must surface as a reported failure, never
+    // an uncaught exception.
+    std::vector<fs::path> files;
+    auto it = fs::recursive_directory_iterator(
+        root, fs::directory_options::skip_permission_denied, ec);
+    while (!ec && it != fs::recursive_directory_iterator()) {
+        std::error_code entry_ec;
+        if (it->is_directory(entry_ec) &&
+            isUnder(it->path(), outCanon)) {
+            it.disable_recursion_pending();
+        } else if (!entry_ec && it->is_regular_file(entry_ec) &&
+                   !entry_ec && it->path().extension() == ".qasm" &&
+                   !isUnder(it->path(), outCanon)) {
+            files.push_back(it->path());
+        }
+        it.increment(ec);
+    }
+    if (ec)
+        fail("--batch: cannot scan " + opt.batchDir + ": " +
+             ec.message());
+    std::sort(files.begin(), files.end());
+    if (files.empty())
+        die("--batch: no .qasm files under " + opt.batchDir);
+
+    if (!opt.quiet)
+        std::fprintf(stderr,
+                     "guoq_cli: batch of %zu file(s) from %s -> %s, "
+                     "%d job(s) x %d thread(s), %gs per file\n",
+                     files.size(), root.generic_string().c_str(),
+                     outRoot.generic_string().c_str(), opt.jobs,
+                     opt.cfg.threads, opt.cfg.base.timeBudgetSeconds);
+
+    // Worker pool: --jobs files in flight, each running its own
+    // --threads portfolio.
+    std::vector<bench::BatchFileEntry> entries(files.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex io;
+    auto work = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= files.size())
+                return;
+            entries[i] = processFile(files[i], root, outRoot, opt);
+            const std::size_t n = done.fetch_add(1) + 1;
+            if (!opt.quiet) {
+                const bench::BatchFileEntry &e = entries[i];
+                std::lock_guard<std::mutex> lock(io);
+                if (e.status == "ok")
+                    std::fprintf(stderr,
+                                 "guoq_cli: [%zu/%zu] %s: ok (%zu -> "
+                                 "%zu gates, %.2fs)\n",
+                                 n, files.size(), e.file.c_str(),
+                                 e.gatesBefore, e.gatesAfter,
+                                 e.seconds);
+                else
+                    std::fprintf(stderr,
+                                 "guoq_cli: [%zu/%zu] %s: %s (%s)\n",
+                                 n, files.size(), e.file.c_str(),
+                                 e.status.c_str(),
+                                 e.message.c_str());
+            }
+        }
+    };
+    const int jobs = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(opt.jobs), files.size()));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j)
+        pool.emplace_back(work);
+    for (std::thread &t : pool)
+        t.join();
+
+    // Per-file status table (stderr keeps a batch's stdout clean for
+    // the optional `--summary -` JSON stream).
+    std::size_t failed = 0;
+    if (!opt.quiet) {
+        support::TextTable table({"file", "status", "qubits", "gates",
+                                  "2q", "seconds", "detail"});
+        for (const bench::BatchFileEntry &e : entries) {
+            std::string detail = e.message;
+            if (e.line > 0)
+                detail = support::strcat(e.line, ":", e.col, ": ",
+                                         e.message);
+            table.addRow(
+                {e.file, e.status,
+                 e.status == "ok" ? std::to_string(e.qubits) : "",
+                 e.status == "ok"
+                     ? support::strcat(e.gatesBefore, " -> ",
+                                       e.gatesAfter)
+                     : "",
+                 e.status == "ok"
+                     ? support::strcat(e.twoQubitBefore, " -> ",
+                                       e.twoQubitAfter)
+                     : "",
+                 support::fmt(e.seconds, 2), detail});
+        }
+        std::fputs(table.render().c_str(), stderr);
+    }
+    for (const bench::BatchFileEntry &e : entries)
+        failed += e.status == "ok" ? 0 : 1;
+
+    bench::BatchRunMeta meta;
+    meta.inputDir = root.generic_string();
+    meta.outputDir = outRoot.generic_string();
+    meta.gateSet = ir::gateSetName(opt.set);
+    meta.objective = core::objectiveName(opt.cfg.base.objective);
+    meta.epsilon = opt.cfg.base.epsilonTotal;
+    meta.timeBudgetSeconds = opt.cfg.base.timeBudgetSeconds;
+    meta.threads = opt.cfg.threads;
+    meta.jobs = opt.jobs;
+    meta.seed = opt.cfg.base.seed;
+    const std::string json = bench::toBatchJson(meta, entries);
+    const std::string summaryPath =
+        opt.summaryPath.empty()
+            ? (outRoot / "summary.json").generic_string()
+            : opt.summaryPath;
+    if (summaryPath == "-") {
+        std::fputs(json.c_str(), stdout);
+    } else {
+        fs::create_directories(
+            fs::path(summaryPath).parent_path(), ec);
+        std::ofstream out(summaryPath);
+        if (out) {
+            out << json;
+            out.close();
+        }
+        if (!out)
+            fail("cannot write summary " + summaryPath);
+        if (!opt.quiet)
+            std::fprintf(stderr, "guoq_cli: summary -> %s\n",
+                         summaryPath.c_str());
+    }
+
+    if (!opt.quiet)
+        std::fprintf(stderr,
+                     "guoq_cli: %zu/%zu file(s) ok, %zu failed\n",
+                     entries.size() - failed, entries.size(), failed);
+    if (failed > 0 && !opt.keepGoing)
+        return 1;
+    return 0;
+}
+
+// --- single-file mode ------------------------------------------------
+
+int
+runSingle(const CliOptions &opt)
+{
+    qasm::ParseResult pr =
+        opt.inPath == "-"
+            ? qasm::parseSource(readAll(std::cin), opt.inDialect,
+                                "<stdin>")
+            : qasm::parseSourceFile(opt.inPath, opt.inDialect);
+    if (!pr.ok) {
+        std::fprintf(stderr, "guoq_cli: %s\n", pr.error.str().c_str());
+        return 1;
+    }
+    const ir::Circuit &input = pr.circuit;
     // Fail fast, before the optimization run: verification builds the
     // full 2^n x 2^n unitary, which is hopeless past ~10 qubits.
-    if (verify && input.numQubits() > 10)
+    if (opt.verify && input.numQubits() > 10)
         die("--verify builds the full 2^n unitary and supports at most "
             "10 qubits; input has " +
             std::to_string(input.numQubits()));
-    if (!quiet)
+    if (!opt.quiet)
         std::fprintf(stderr,
-                     "guoq_cli: %zu gates (%zu two-qubit) on %d qubits, "
-                     "gate set %s, objective %s, eps=%g, %gs x %d "
-                     "thread(s)\n",
+                     "guoq_cli: %zu gates (%zu two-qubit) on %d qubits "
+                     "(%s), gate set %s, objective %s, eps=%g, %gs x "
+                     "%d thread(s)\n",
                      input.size(), input.twoQubitGateCount(),
-                     input.numQubits(), ir::gateSetName(set).c_str(),
-                     core::objectiveName(cfg.base.objective).c_str(),
-                     cfg.base.epsilonTotal, cfg.base.timeBudgetSeconds,
-                     cfg.threads);
+                     input.numQubits(),
+                     qasm::dialectName(pr.dialect).c_str(),
+                     ir::gateSetName(opt.set).c_str(),
+                     core::objectiveName(opt.cfg.base.objective).c_str(),
+                     opt.cfg.base.epsilonTotal,
+                     opt.cfg.base.timeBudgetSeconds, opt.cfg.threads);
 
     const core::PortfolioResult result =
-        core::optimizePortfolio(input, set, cfg);
+        core::optimizePortfolio(input, opt.set, opt.cfg);
 
-    if (!quiet) {
+    if (!opt.quiet) {
         std::fprintf(stderr,
                      "guoq_cli: best cost %g (worker %d), %zu gates "
                      "(%zu two-qubit), error bound %.3g\n",
@@ -265,18 +546,138 @@ main(int argc, char **argv)
                          w.finalCost, w.stats.iterations);
     }
 
-    if (verify) {
+    if (opt.verify) {
         const double d = sim::circuitDistance(input, result.best);
         std::fprintf(stderr,
                      "guoq_cli: verified HS distance %.3g (budget %g)\n",
-                     d, cfg.base.epsilonTotal);
-        if (d > cfg.base.epsilonTotal + 1e-6)
-            die("verification FAILED: distance exceeds budget");
+                     d, opt.cfg.base.epsilonTotal);
+        if (d > opt.cfg.base.epsilonTotal + 1e-6) {
+            std::fprintf(stderr, "guoq_cli: verification FAILED: "
+                                 "distance exceeds budget\n");
+            return 1;
+        }
     }
 
-    if (out_path == "-")
-        std::fputs(qasm::toQasm(result.best).c_str(), stdout);
+    const qasm::Dialect out_d = outputDialect(opt, pr.dialect);
+    if (opt.outPath == "-")
+        std::fputs(qasm::toQasm(result.best, out_d).c_str(), stdout);
     else
-        qasm::writeQasmFile(result.best, out_path);
+        qasm::writeQasmFile(result.best, opt.outPath, out_d);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    constexpr double kMaxTimeSeconds = 1e7;
+    CliOptions opt;
+    opt.cfg.base.epsilonTotal = 0;
+    opt.cfg.base.timeBudgetSeconds = 10.0;
+    opt.cfg.base.seed = 1;
+    bool explicit_time = false;
+    bool explicit_in = false;
+    bool explicit_out = false;
+
+    auto value = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            die(std::string(argv[i]) + " expects a value");
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--in") {
+            opt.inPath = value(i);
+            explicit_in = true;
+        } else if (arg == "--out") {
+            opt.outPath = value(i);
+            explicit_out = true;
+        } else if (arg == "--batch") {
+            opt.batchDir = value(i);
+        } else if (arg == "--out-dir") {
+            opt.outDir = value(i);
+        } else if (arg == "--summary") {
+            opt.summaryPath = value(i);
+        } else if (arg == "--keep-going") {
+            opt.keepGoing = true;
+        } else if (arg == "--jobs") {
+            const long n = parseLong(arg, value(i));
+            if (n < 1 || n > 256)
+                die("--jobs must be in [1, 256]");
+            opt.jobs = static_cast<int>(n);
+        } else if (arg == "--dialect") {
+            const std::string name = value(i);
+            if (!qasm::dialectFromName(name, &opt.inDialect))
+                die("unknown dialect '" + name + "'");
+        } else if (arg == "--out-dialect") {
+            const std::string name = value(i);
+            if (!qasm::dialectFromName(name, &opt.outDialect))
+                die("unknown dialect '" + name + "'");
+        } else if (arg == "--gate-set") {
+            const std::string name = value(i);
+            if (!parseGateSet(name, opt.set))
+                die("unknown gate set '" + name + "'");
+        } else if (arg == "--objective") {
+            const std::string name = value(i);
+            if (!parseObjective(name, opt.cfg.base.objective))
+                die("unknown objective '" + name + "'");
+        } else if (arg == "--epsilon") {
+            opt.cfg.base.epsilonTotal = parseDouble(arg, value(i));
+            // !(>= 0) also rejects NaN, which would otherwise disable
+            // every budget comparison in the optimizer.
+            if (!(opt.cfg.base.epsilonTotal >= 0) ||
+                !std::isfinite(opt.cfg.base.epsilonTotal))
+                die("--epsilon must be a finite value >= 0");
+        } else if (arg == "--time") {
+            opt.cfg.base.timeBudgetSeconds = parseDouble(arg, value(i));
+            // The upper bound keeps Deadline's double-to-clock-duration
+            // conversion representable; NaN/inf/huge would overflow it
+            // into an already-expired deadline (silent 0-iteration run).
+            if (!(opt.cfg.base.timeBudgetSeconds > 0) ||
+                opt.cfg.base.timeBudgetSeconds > kMaxTimeSeconds)
+                die("--time must be in (0, 1e7] seconds");
+            explicit_time = true;
+        } else if (arg == "--threads") {
+            const long n = parseLong(arg, value(i));
+            if (n < 1 || n > 1024)
+                die("--threads must be in [1, 1024]");
+            opt.cfg.threads = static_cast<int>(n);
+        } else if (arg == "--seed") {
+            opt.cfg.base.seed = parseSeed(arg, value(i));
+        } else if (arg == "--iterations") {
+            opt.cfg.base.maxIterations = parseLong(arg, value(i));
+            // 0 would emit the input unchanged (silent no-op); omit
+            // the flag entirely for an unlimited run.
+            if (opt.cfg.base.maxIterations < 1)
+                die("--iterations must be >= 1");
+        } else if (arg == "--verify") {
+            opt.verify = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else {
+            usage(argv[0]);
+            die("unknown argument '" + arg + "'");
+        }
+    }
+
+    const bool batch = !opt.batchDir.empty();
+    if (batch && (explicit_in || explicit_out))
+        die("--batch excludes --in/--out (use --out-dir)");
+    if (!batch &&
+        (!opt.outDir.empty() || !opt.summaryPath.empty() ||
+         opt.jobs != 1 || opt.keepGoing))
+        die("--out-dir/--summary/--jobs/--keep-going require --batch");
+
+    // An iteration cap without an explicit --time means "reproducible
+    // run": lift the default 10 s budget so the cap — not machine
+    // speed — decides where the search stops.
+    if (opt.cfg.base.maxIterations >= 0 && !explicit_time)
+        opt.cfg.base.timeBudgetSeconds = kMaxTimeSeconds;
+
+    return batch ? runBatch(opt) : runSingle(opt);
 }
