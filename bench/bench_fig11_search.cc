@@ -8,9 +8,9 @@
 
 #include <cstdio>
 
-#include "baselines/beam_search.h"
 #include "bench/harness.h"
 #include "bench/registry.h"
+#include "core/optimizer.h"
 
 namespace {
 
@@ -49,40 +49,43 @@ runFig11(CaseContext &ctx)
         std::printf("=== Fig. 11 (Q3): search algorithm comparison "
                     "(ibmq20, 2q reduction) ===\n\n");
 
-    const std::vector<Tool> tools{
-        {"seq-rw-rs", [&ctx, set](const ir::Circuit &c,
-                                  std::uint64_t seed) {
+    // The beam and GUOQ itself dispatch through the optimizer
+    // registry — the same entry points guoq_cli --algorithm drives.
+    // The two coarse sequential orders are phased composites with no
+    // registry identity of their own; their rows carry the "+"-joined
+    // names of the phases.
+    core::OptimizeRequest beam_req;
+    beam_req.set = set;
+    beam_req.objective = core::Objective::TwoQubitCount;
+    beam_req.epsilonTotal = 1e-5;
+    beam_req.timeBudgetSeconds = budget;
+    beam_req.params["beam-width"] = "64";
+
+    std::vector<Tool> tools;
+    tools.push_back(
+        {"seq-rw-rs",
+         [&ctx, set](const ir::Circuit &c, std::uint64_t seed) {
              return sequential(ctx, c, set, seed,
                                core::TransformSelection::RewriteOnly,
                                core::TransformSelection::ResynthOnly);
-         }},
-        {"seq-rs-rw", [&ctx, set](const ir::Circuit &c,
-                                  std::uint64_t seed) {
+         },
+         "guoq-rewrite+guoq-resynth"});
+    tools.push_back(
+        {"seq-rs-rw",
+         [&ctx, set](const ir::Circuit &c, std::uint64_t seed) {
              return sequential(ctx, c, set, seed,
                                core::TransformSelection::ResynthOnly,
                                core::TransformSelection::RewriteOnly);
-         }},
-        {"guoq-beam", [set, budget](const ir::Circuit &c,
-                                    std::uint64_t seed) {
-             baselines::BeamOptions o;
-             o.objective = core::Objective::TwoQubitCount;
-             o.epsilonTotal = 1e-5;
-             o.timeBudgetSeconds = budget;
-             o.beamWidth = 64;
-             o.seed = seed;
-             return baselines::beamSearchOptimize(c, set, o).best;
-         }},
-    };
+         },
+         "guoq-resynth+guoq-rewrite"});
+    tools.push_back(registryTool(ctx, "guoq-beam", "beam", beam_req));
 
-    GuoqSpec spec;
-    spec.set = set;
-    spec.baseBudgetSeconds = 4.0;
-    spec.cfg.epsilonTotal = 1e-5;
-    spec.cfg.objective = core::Objective::TwoQubitCount;
-    const Tool guoq{"guoq",
-                    [&ctx, spec](const ir::Circuit &c, std::uint64_t seed) {
-                        return runGuoq(ctx, spec, c, seed);
-                    }};
+    core::OptimizeRequest guoq_req;
+    guoq_req.set = set;
+    guoq_req.objective = core::Objective::TwoQubitCount;
+    guoq_req.epsilonTotal = 1e-5;
+    guoq_req.timeBudgetSeconds = budget;
+    const Tool guoq = registryTool(ctx, "guoq", "guoq", guoq_req);
 
     Comparison cmp;
     cmp.metricName = "2q gate reduction";

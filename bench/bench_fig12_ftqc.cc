@@ -10,12 +10,9 @@
 
 #include <cstdio>
 
-#include "baselines/beam_search.h"
-#include "baselines/fixed_sequence.h"
-#include "baselines/partition_resynth.h"
-#include "baselines/phase_poly.h"
 #include "bench/harness.h"
 #include "bench/registry.h"
+#include "core/optimizer.h"
 
 namespace {
 
@@ -33,48 +30,30 @@ runFig12(CaseContext &ctx, const Comparison &cmp, const char *header)
     if (ctx.pretty())
         std::printf("=== %s ===\n\n", header);
 
-    GuoqSpec spec;
-    spec.set = set;
-    spec.baseBudgetSeconds = 3.0;
-    spec.cfg.epsilonTotal = 1e-5;
-    spec.cfg.objective = obj;
+    // Every tool in this figure dispatches through the optimizer
+    // registry — each display name is the paper's tool label, each
+    // algorithm the registry entry that stands in for it.
+    core::OptimizeRequest base;
+    base.set = set;
+    base.objective = obj;
+    base.timeBudgetSeconds = budget;
 
-    GuoqSpec synthetiq = spec;
-    synthetiq.cfg.selection = core::TransformSelection::ResynthOnly;
+    core::OptimizeRequest approx = base;
+    approx.epsilonTotal = 1e-5;
 
-    const std::vector<Tool> tools{
-        {"qiskit", [set](const ir::Circuit &c, std::uint64_t) {
-             return baselines::qiskitLikeOptimize(c, set);
-         }},
-        {"bqskit", [set, obj, budget](const ir::Circuit &c,
-                                      std::uint64_t seed) {
-             return baselines::partitionResynth(c, set, obj, 1e-5,
-                                                budget, seed)
-                 .circuit;
-         }},
-        {"synthetiq", [&ctx, synthetiq](const ir::Circuit &c,
-                                        std::uint64_t seed) {
-             return runGuoq(ctx, synthetiq, c, seed);
-         }},
-        {"queso", [set, obj, budget](const ir::Circuit &c,
-                                     std::uint64_t seed) {
-             baselines::BeamOptions o;
-             o.objective = obj;
-             o.epsilonTotal = 0;
-             o.timeBudgetSeconds = budget;
-             o.beamWidth = 32;
-             o.seed = seed;
-             return baselines::beamSearchOptimize(c, set, o).best;
-         }},
-        {"pyzx", [set](const ir::Circuit &c, std::uint64_t) {
-             return baselines::phasePolyOptimize(c, set);
-         }},
-    };
+    core::OptimizeRequest queso = base;
+    queso.params["beam-width"] = "32";
 
-    const Tool guoq{"guoq",
-                    [&ctx, spec](const ir::Circuit &c, std::uint64_t seed) {
-                        return runGuoq(ctx, spec, c, seed);
-                    }};
+    std::vector<Tool> tools;
+    tools.push_back(registryTool(ctx, "qiskit", "qiskit-like", base));
+    tools.push_back(
+        registryTool(ctx, "bqskit", "partition-resynth", approx));
+    tools.push_back(
+        registryTool(ctx, "synthetiq", "guoq-resynth", approx));
+    tools.push_back(registryTool(ctx, "queso", "beam", queso));
+    tools.push_back(registryTool(ctx, "pyzx", "phase-poly", base));
+
+    const Tool guoq = registryTool(ctx, "guoq", "guoq", approx);
 
     runComparison(ctx, suite, guoq, tools, cmp);
 }

@@ -133,6 +133,8 @@ toJson(const RunMeta &meta, const std::vector<CaseResult> &results)
         out += ",\n";
         str("\"tool\"", r.tool, "      ");
         out += ",\n";
+        str("\"algorithm\"", r.algorithm, "      ");
+        out += ",\n";
         str("\"metric\"", r.metric, "      ");
         out += ",\n";
         num("\"value\"", jsonNumber(r.value), "      ");
@@ -182,6 +184,8 @@ toBatchJson(const BatchRunMeta &meta,
     str("\"gate_set\"", meta.gateSet);
     out += ",\n    ";
     str("\"objective\"", meta.objective);
+    out += ",\n    ";
+    str("\"algorithm\"", meta.algorithm);
     out += ",\n    \"epsilon\": " + jsonNumber(meta.epsilon);
     out += ",\n    \"time\": " + jsonNumber(meta.timeBudgetSeconds);
     out += ",\n    \"threads\": " + std::to_string(meta.threads);
@@ -200,6 +204,8 @@ toBatchJson(const BatchRunMeta &meta,
         str("\"status\"", f.status);
         out += ",\n      ";
         str("\"dialect\"", f.dialect);
+        out += ",\n      ";
+        str("\"algorithm\"", f.algorithm);
         if (f.status == "ok") {
             out += ",\n      ";
             str("\"output\"", f.output);
@@ -237,8 +243,11 @@ toBatchJson(const BatchRunMeta &meta,
 std::string
 toCsv(const std::vector<CaseResult> &results)
 {
-    std::string out =
-        "case,benchmark,tool,metric,value,seconds,trial,seed,workers\n";
+    // `algorithm` is appended as the LAST column: the schema policy
+    // (docs/FORMATS.md) promises additive evolution, and positional
+    // CSV consumers must keep reading the original columns unshifted.
+    std::string out = "case,benchmark,tool,metric,value,seconds,trial,"
+                      "seed,workers,algorithm\n";
     for (const CaseResult &r : results) {
         std::string workers;
         for (std::size_t w = 0; w < r.workerSeconds.size(); ++w) {
@@ -251,7 +260,7 @@ toCsv(const std::vector<CaseResult> &results)
             csvField(r.tool),      csvField(r.metric),
             csvNumber(r.value),    csvNumber(r.seconds),
             std::to_string(r.trial), u64(r.seed),
-            csvField(workers)};
+            csvField(workers),     csvField(r.algorithm)};
         for (std::size_t f = 0; f < std::size(fields); ++f) {
             if (f)
                 out += ',';

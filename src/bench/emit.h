@@ -34,9 +34,9 @@ struct RunMeta
  *     "run": {"scale": ..., "trials": ..., "seed": ..., "threads": ...,
  *             "cases": [...]},
  *     "results": [
- *       {"case": ..., "benchmark": ..., "tool": ..., "metric": ...,
- *        "value": ..., "seconds": ..., "trial": ..., "seed": ...,
- *        "workers": [...]}, ...
+ *       {"case": ..., "benchmark": ..., "tool": ..., "algorithm": ...,
+ *        "metric": ..., "value": ..., "seconds": ..., "trial": ...,
+ *        "seed": ..., "workers": [...]}, ...
  *     ]
  *   }
  *
@@ -58,6 +58,7 @@ struct BatchFileEntry
     std::string status;  //!< "ok" | "parse_error" | "verify_failed" |
                          //!< "write_error"
     std::string dialect; //!< input dialect actually parsed
+    std::string algorithm; //!< registry name of the optimizer used
     std::string output;  //!< written output path (ok entries only)
     int qubits = 0;
     std::size_t gatesBefore = 0;
@@ -78,6 +79,7 @@ struct BatchRunMeta
     std::string outputDir;
     std::string gateSet;
     std::string objective;
+    std::string algorithm; //!< registry name of the optimizer used
     double epsilon = 0;
     double timeBudgetSeconds = 0;
     int threads = 1; //!< portfolio workers per file
@@ -91,16 +93,17 @@ struct BatchRunMeta
  *   {
  *     "schema": "guoq-batch-v1",
  *     "run": {"input_dir": ..., "output_dir": ..., "gate_set": ...,
- *             "objective": ..., "epsilon": ..., "time": ...,
- *             "threads": ..., "jobs": ..., "seed": ...,
+ *             "objective": ..., "algorithm": ..., "epsilon": ...,
+ *             "time": ..., "threads": ..., "jobs": ..., "seed": ...,
  *             "files": N, "ok": N, "failed": N},
  *     "files": [
- *       {"file": ..., "status": "ok", "dialect": ..., "output": ...,
- *        "qubits": ..., "gates_before": ..., "gates_after": ...,
- *        "twoq_before": ..., "twoq_after": ..., "error_bound": ...,
- *        "seconds": ...},
+ *       {"file": ..., "status": "ok", "dialect": ...,
+ *        "algorithm": ..., "output": ..., "qubits": ...,
+ *        "gates_before": ..., "gates_after": ..., "twoq_before": ...,
+ *        "twoq_after": ..., "error_bound": ..., "seconds": ...},
  *       {"file": ..., "status": "parse_error", "dialect": ...,
- *        "line": ..., "col": ..., "message": ..., "seconds": ...}
+ *        "algorithm": ..., "line": ..., "col": ..., "message": ...,
+ *        "seconds": ...}
  *     ]
  *   }
  *

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "bench/registry.h"
+#include "support/logging.h"
 #include "support/options.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -25,6 +26,25 @@ RunOptions::fromEnv()
     return opts;
 }
 
+namespace {
+
+/** Stash a portfolio run's per-worker wall timings on the context
+ *  (only multi-thread runs carry per-worker detail). */
+void
+stashWorkers(CaseContext &ctx, int threads,
+             const std::vector<core::PortfolioWorkerReport> &workers)
+{
+    std::vector<double> worker_seconds;
+    if (threads > 1) {
+        worker_seconds.reserve(workers.size());
+        for (const core::PortfolioWorkerReport &w : workers)
+            worker_seconds.push_back(w.wallSeconds);
+    }
+    ctx.stashWorkerSeconds(worker_seconds);
+}
+
+} // namespace
+
 core::PortfolioResult
 runGuoqPortfolio(CaseContext &ctx, const GuoqSpec &spec,
                  const ir::Circuit &c, std::uint64_t seed)
@@ -35,13 +55,7 @@ runGuoqPortfolio(CaseContext &ctx, const GuoqSpec &spec,
     pcfg.base.timeBudgetSeconds = ctx.budget(spec.baseBudgetSeconds);
     pcfg.threads = ctx.opts().threads;
     core::PortfolioResult r = core::optimizePortfolio(c, spec.set, pcfg);
-    std::vector<double> worker_seconds;
-    if (pcfg.threads > 1) {
-        worker_seconds.reserve(r.workers.size());
-        for (const core::PortfolioWorkerReport &w : r.workers)
-            worker_seconds.push_back(w.wallSeconds);
-    }
-    ctx.stashWorkerSeconds(worker_seconds);
+    stashWorkers(ctx, pcfg.threads, r.workers);
     return r;
 }
 
@@ -50,6 +64,33 @@ runGuoq(CaseContext &ctx, const GuoqSpec &spec, const ir::Circuit &c,
         std::uint64_t seed)
 {
     return runGuoqPortfolio(ctx, spec, c, seed).best;
+}
+
+Tool
+registryTool(CaseContext &ctx, std::string display,
+             std::string algorithm, core::OptimizeRequest base)
+{
+    const core::Optimizer *opt =
+        core::OptimizerRegistry::global().find(algorithm);
+    if (!opt)
+        support::fatal(support::strcat("registryTool: unknown algorithm '",
+                                       algorithm, "'"));
+    const std::string err = opt->checkRequest(base);
+    if (!err.empty())
+        support::fatal(support::strcat("registryTool: ", err));
+    Tool tool;
+    tool.name = std::move(display);
+    tool.algorithm = std::move(algorithm);
+    tool.run = [&ctx, opt, base = std::move(base)](
+                   const ir::Circuit &c, std::uint64_t seed) {
+        core::OptimizeRequest req = base;
+        req.seed = seed;
+        req.threads = ctx.opts().threads;
+        core::OptimizeReport report = opt->run(c, req);
+        stashWorkers(ctx, req.threads, report.workers);
+        return std::move(report.circuit);
+    };
+    return tool;
 }
 
 void
@@ -83,6 +124,7 @@ runComparison(CaseContext &ctx,
             CaseResult row;
             row.benchmark = b.name;
             row.tool = tool.name;
+            row.algorithm = tool.algorithm;
             row.metric = cmp.metricKey;
             row.value = m;
             row.seconds = seconds;
@@ -110,25 +152,26 @@ runComparison(CaseContext &ctx,
     }
 
     const double n = static_cast<double>(suite.size());
-    auto aggregate = [&](const std::string &tool,
-                         const std::string &metric, double value) {
+    auto aggregate = [&](const Tool &tool, const std::string &metric,
+                         double value) {
         CaseResult row;
         row.benchmark = "*";
-        row.tool = tool;
+        row.tool = tool.name;
+        row.algorithm = tool.algorithm;
         row.metric = metric;
         row.value = value;
         row.seed = opts.seed;
         ctx.record(std::move(row));
     };
     if (n > 0)
-        aggregate(guoq.name, cmp.metricKey + "_avg", guoq_sum / n);
+        aggregate(guoq, cmp.metricKey + "_avg", guoq_sum / n);
     for (std::size_t t = 0; t < tools.size(); ++t) {
         if (n > 0)
-            aggregate(tools[t].name, cmp.metricKey + "_avg",
+            aggregate(tools[t], cmp.metricKey + "_avg",
                       tool_sum[t] / n);
-        aggregate(tools[t].name, "better", counts[t].better);
-        aggregate(tools[t].name, "match", counts[t].match);
-        aggregate(tools[t].name, "worse", counts[t].worse);
+        aggregate(tools[t], "better", counts[t].better);
+        aggregate(tools[t], "match", counts[t].match);
+        aggregate(tools[t], "worse", counts[t].worse);
     }
 
     if (!ctx.pretty())

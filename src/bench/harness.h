@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/optimizer.h"
 #include "core/portfolio.h"
 #include "ir/circuit.h"
 #include "ir/gate_set.h"
@@ -61,6 +62,10 @@ struct CaseResult
     std::string caseId;    //!< e.g. "fig1" (stamped by CaseContext)
     std::string benchmark; //!< circuit name, or "*" for aggregates
     std::string tool;      //!< "guoq", "qiskit", a knob label, ...
+    /** Registry name of the core::Optimizer that produced the row
+     *  ("guoq", "beam", ...; "+"-joined for phased composites). Empty
+     *  for rows from cases not yet routed through the registry. */
+    std::string algorithm;
     std::string metric;    //!< e.g. "2q_reduction", "final_2q"
     double value = 0;
     double seconds = 0;    //!< wall seconds of the producing run
@@ -174,10 +179,35 @@ ir::Circuit runGuoq(CaseContext &ctx, const GuoqSpec &spec,
 /** A tool entry: name plus a circuit optimizer closure. */
 struct Tool
 {
-    std::string name;
-    std::function<ir::Circuit(const ir::Circuit &, std::uint64_t seed)>
-        run;
+    using RunFn =
+        std::function<ir::Circuit(const ir::Circuit &, std::uint64_t)>;
+
+    Tool() = default;
+    /** Legacy {name, run} spellings keep working; rows of a tool
+     *  constructed without an algorithm stay untagged. */
+    Tool(std::string name_, RunFn run_, std::string algorithm_ = "")
+        : name(std::move(name_)), run(std::move(run_)),
+          algorithm(std::move(algorithm_))
+    {
+    }
+
+    std::string name; //!< display/row label, e.g. "queso"
+    RunFn run;
+    /** Producing algorithm recorded on the tool's rows (see
+     *  CaseResult::algorithm). */
+    std::string algorithm;
 };
+
+/**
+ * A Tool dispatching through core::OptimizerRegistry::global():
+ * per invocation @p base gets the cell's seed and the context's
+ * thread count, the named optimizer runs it, and any per-worker wall
+ * timings are stashed on @p ctx for the recorded row (exactly like
+ * runGuoqPortfolio). Fatal when @p algorithm is not registered or
+ * @p base fails the optimizer's checkRequest validation.
+ */
+Tool registryTool(CaseContext &ctx, std::string display,
+                  std::string algorithm, core::OptimizeRequest base);
 
 /** The metric of a head-to-head comparison. */
 struct Comparison

@@ -115,6 +115,15 @@ optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
             result.best = curr;
             error_best = error_curr;
             record();
+            if (cfg.hooks.onBest) {
+                ProgressEvent ev;
+                ev.seconds = timer.seconds();
+                ev.cost = cost_best;
+                ev.errorBound = error_best;
+                ev.gateCount = result.best.gateCount();
+                ev.twoQubitCount = result.best.twoQubitGateCount();
+                cfg.hooks.onBest(ev);
+            }
         }
     };
 
@@ -137,7 +146,7 @@ optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
                  r.distance, /*from_resynth=*/true);
     };
 
-    while (!deadline.expired() &&
+    while (!deadline.expired() && !cfg.hooks.cancelled() &&
            (cfg.maxIterations < 0 ||
             result.stats.iterations < cfg.maxIterations)) {
         ++result.stats.iterations;

@@ -13,6 +13,7 @@
 
 #include "core/cost.h"
 #include "core/framework.h"
+#include "core/observer.h"
 #include "ir/circuit.h"
 #include "ir/gate_set.h"
 
@@ -70,6 +71,15 @@ struct GuoqConfig
 
     /** Record a best-cost-over-time trace (Fig. 7 style). */
     bool recordTrace = false;
+
+    /**
+     * Progress callback + cooperative cancellation. `hooks.onBest`
+     * fires on every strict best-cost improvement; `hooks.cancel`
+     * is polled each iteration and ends the run early with the best
+     * found so far. Neither affects the search trajectory: a run with
+     * hooks attached visits exactly the circuits of a hook-free run.
+     */
+    ObserverHooks hooks;
 };
 
 /** Counters for one run. */

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Progress observation and cooperative cancellation for optimizer
+ * runs: the ObserverHooks struct every optimizer entry point accepts.
+ *
+ * Hooks are how long-running searches become drivable: a CLI can
+ * stream best-cost improvements to stderr, a service can enforce its
+ * own deadline by flipping the cancellation token, and a portfolio can
+ * forward only globally-improving events. Both members are optional;
+ * default-constructed hooks observe nothing and never cancel.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace guoq {
+namespace core {
+
+/** One best-cost improvement, reported as it happens. */
+struct ProgressEvent
+{
+    double seconds = 0;         //!< wall time since the run started
+    double cost = 0;            //!< the new best cost (objective value)
+    double errorBound = 0;      //!< accumulated ε of the new best
+    std::size_t gateCount = 0;  //!< gate count of the new best
+    std::size_t twoQubitCount = 0;
+    int worker = -1;            //!< portfolio worker that found it
+                                //!< (-1: single-trajectory run)
+};
+
+/** A shared flag a driver flips to stop runs early. */
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
+/** A fresh, unset cancellation token. */
+inline CancelToken
+makeCancelToken()
+{
+    return std::make_shared<std::atomic<bool>>(false);
+}
+
+/**
+ * Observation hooks carried by an optimization request.
+ *
+ * `onBest` fires on every new best (strictly improving cost). Events
+ * are monotone: each reported cost is strictly below the previous
+ * one. In a multi-threaded portfolio the callback may be invoked from
+ * worker threads, but invocations are serialized and still monotone
+ * portfolio-wide — keep the callback cheap, it is called under the
+ * serialization lock.
+ *
+ * `cancel` is cooperative: search loops poll it between iterations
+ * (and the portfolio between slices) and return their current best
+ * when it is set. One-shot deterministic passes (the fixed-sequence
+ * baselines) check it only on entry.
+ */
+struct ObserverHooks
+{
+    std::function<void(const ProgressEvent &)> onBest;
+    CancelToken cancel;
+
+    bool
+    cancelled() const
+    {
+        return cancel && cancel->load(std::memory_order_relaxed);
+    }
+};
+
+} // namespace core
+} // namespace guoq

@@ -1,6 +1,8 @@
 #include "core/portfolio.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -13,7 +15,19 @@ namespace core {
 
 namespace {
 
-/** Mutex-guarded global best shared by all workers. */
+/**
+ * Global best shared by all workers.
+ *
+ * The hot checks ("is this candidate even competitive?" / "did anyone
+ * publish since I last looked?") run lock-free against an atomic
+ * best-cost mirror and a publication epoch; the mutex is taken only to
+ * copy circuits. Both atomics are conservative: `costFast` only ever
+ * decreases and a stale read returns an *older, higher-or-equal*
+ * value, so a candidate that fails the fast test (cost_c above the
+ * stale mirror) is guaranteed above the true best too — skipping the
+ * lock never loses an update, and a stale pass merely takes the lock
+ * and re-checks under it.
+ */
 struct SharedBest
 {
     std::mutex mutex;
@@ -22,33 +36,95 @@ struct SharedBest
     double error = 0;
     int worker = 0;
 
+    /** Lock-free mirror of `cost` (updated inside the lock). */
+    std::atomic<double> costFast{std::numeric_limits<double>::max()};
+    /** Bumped on every publication; lets adopters skip the lock when
+     *  nothing changed since their last look. */
+    std::atomic<std::uint64_t> epoch{0};
+
+    // Progress events: a separate lock so a slow user callback never
+    // stalls the circuit-exchange path, plus its own monotone best so
+    // forwarded events stay strictly decreasing portfolio-wide.
+    std::mutex eventMutex;
+    double eventBest = std::numeric_limits<double>::max();
+    std::atomic<double> eventBestFast{
+        std::numeric_limits<double>::max()};
+
+    void
+    init(const ir::Circuit &c, double cost_c)
+    {
+        circuit = c;
+        cost = cost_c;
+        error = 0;
+        worker = 0;
+        costFast.store(cost_c, std::memory_order_release);
+        // The input circuit is not an "improvement": only costs
+        // strictly below it may be reported.
+        eventBest = cost_c;
+        eventBestFast.store(cost_c, std::memory_order_release);
+    }
+
     /** Publish a candidate; on cost ties the lower accumulated ε wins
      *  (same rule the workers use locally). */
     void
     offer(const ir::Circuit &c, double cost_c, double error_c, int worker_c)
     {
+        // Fast path: strictly worse than the (monotone) mirror can
+        // never win; ties still need the lock for the ε rule.
+        if (cost_c > costFast.load(std::memory_order_acquire))
+            return;
         std::lock_guard<std::mutex> lock(mutex);
         if (cost_c < cost || (cost_c == cost && error_c < error)) {
             circuit = c;
             cost = cost_c;
             error = error_c;
             worker = worker_c;
+            costFast.store(cost_c, std::memory_order_release);
+            epoch.fetch_add(1, std::memory_order_acq_rel);
         }
     }
 
     /**
      * If the global best is strictly better than @p cost_c, copy it
      * into the out-params and return true (the caller adopts it).
+     * @p seen_epoch is the caller's last observed publication epoch;
+     * the call skips the lock — and returns false — when nothing was
+     * published since, or when the mirror shows no improvement. Both
+     * fast-outs are conservative (see SharedBest), so a missed
+     * adoption can only be one that the next slice boundary retries.
      */
     bool
-    adopt(double cost_c, ir::Circuit &c, double &error_c)
+    adopt(double cost_c, ir::Circuit &c, double &error_c,
+          std::uint64_t &seen_epoch)
     {
+        const std::uint64_t e = epoch.load(std::memory_order_acquire);
+        if (e == seen_epoch ||
+            costFast.load(std::memory_order_acquire) >= cost_c)
+            return false;
         std::lock_guard<std::mutex> lock(mutex);
+        seen_epoch = epoch.load(std::memory_order_relaxed);
         if (cost >= cost_c)
             return false;
         c = circuit;
         error_c = error;
         return true;
+    }
+
+    /** Forward @p ev to @p user iff it improves on every event
+     *  forwarded so far (keeps the portfolio-wide stream monotone). */
+    void
+    reportBest(const ProgressEvent &ev, const ObserverHooks &user)
+    {
+        if (!user.onBest)
+            return;
+        if (ev.cost >= eventBestFast.load(std::memory_order_acquire))
+            return;
+        std::lock_guard<std::mutex> lock(eventMutex);
+        if (ev.cost >= eventBest)
+            return;
+        eventBest = ev.cost;
+        eventBestFast.store(ev.cost, std::memory_order_release);
+        user.onBest(ev);
     }
 };
 
@@ -77,8 +153,9 @@ mergeStats(GuoqStats &into, const GuoqStats &from)
 void
 runWorker(int worker, const ir::Circuit &input, ir::GateSetKind set,
           const PortfolioConfig &cfg, const support::Deadline &deadline,
-          const CostFunction &cost, SharedBest &shared,
-          PortfolioWorkerReport &report)
+          const support::Timer &portfolio_timer, const CostFunction &cost,
+          SharedBest &shared, PortfolioWorkerReport &report,
+          std::vector<TracePoint> &trace)
 {
     support::Timer worker_timer;
     support::Rng seeder(portfolioWorkerSeed(cfg.base.seed, worker));
@@ -87,6 +164,7 @@ runWorker(int worker, const ir::Circuit &input, ir::GateSetKind set,
 
     ir::Circuit curr = input;
     double error_curr = 0;
+    std::uint64_t seen_epoch = 0;
 
     // Iteration-capped runs execute as one slice so that a fixed
     // (seed, maxIterations) pair walks one reproducible trajectory —
@@ -94,7 +172,8 @@ runWorker(int worker, const ir::Circuit &input, ir::GateSetKind set,
     // doesn't truncate the run first.
     const bool sliced = cfg.base.maxIterations < 0;
     bool ran_once = false;
-    while (!ran_once || (sliced && !deadline.expired())) {
+    while (!ran_once || (sliced && !deadline.expired() &&
+                         !cfg.base.hooks.cancelled())) {
         GuoqConfig slice = cfg.base;
         // The first slice uses the worker seed itself (so a 1-thread
         // portfolio reproduces core::optimize() exactly); later slices
@@ -118,8 +197,30 @@ runWorker(int worker, const ir::Circuit &input, ir::GateSetKind set,
             const double sync = std::max(cfg.syncIntervalSeconds, 0.01);
             slice.timeBudgetSeconds = std::min(sync, deadline.remaining());
         }
+        // In-slice progress is slice-local; route it through the
+        // shared filter so the user only sees portfolio-wide
+        // improvements, stamped with the portfolio clock and worker.
+        // Each slice's optimize() accounts ε from zero, so the ε the
+        // worker carried into the slice is added back to keep the
+        // event's errorBound the true accumulated bound.
+        if (cfg.base.hooks.onBest)
+            slice.hooks.onBest = [&shared, &cfg, &portfolio_timer,
+                                  worker, error0 = error_curr](
+                                     const ProgressEvent &e) {
+                ProgressEvent ev = e;
+                ev.seconds = portfolio_timer.seconds();
+                ev.errorBound += error0;
+                ev.worker = worker;
+                shared.reportBest(ev, cfg.base.hooks);
+            };
+        const double slice_t0 = portfolio_timer.seconds();
         GuoqResult r = optimize(curr, set, slice);
         mergeStats(report.stats, r.stats);
+        if (cfg.base.recordTrace)
+            for (TracePoint p : r.trace) {
+                p.seconds += slice_t0;
+                trace.push_back(p);
+            }
         const double cost_r = cost(r.best);
         const double error_r = error_curr + r.errorBound;
         // Keep the incumbent on cost ties unless the slice spent no ε:
@@ -130,9 +231,11 @@ runWorker(int worker, const ir::Circuit &input, ir::GateSetKind set,
             error_curr = error_r;
         }
         shared.offer(curr, cost(curr), error_curr, worker);
-        if (cfg.exchangeBest && sliced && !deadline.expired()) {
+        if (cfg.exchangeBest && sliced && !deadline.expired() &&
+            !cfg.base.hooks.cancelled()) {
             double adopted_error = error_curr;
-            if (shared.adopt(cost(curr), curr, adopted_error))
+            if (shared.adopt(cost(curr), curr, adopted_error,
+                             seen_epoch))
                 error_curr = adopted_error;
         }
     }
@@ -140,6 +243,45 @@ runWorker(int worker, const ir::Circuit &input, ir::GateSetKind set,
     report.finalCost = cost(curr);
     report.errorBound = error_curr;
     report.wallSeconds = worker_timer.seconds();
+}
+
+/** A trace point describing @p c at time @p seconds. */
+TracePoint
+tracePointFor(double seconds, double cost_c, const ir::Circuit &c)
+{
+    TracePoint p;
+    p.seconds = seconds;
+    p.cost = cost_c;
+    p.gateCount = c.gateCount();
+    p.twoQubitCount = c.twoQubitGateCount();
+    p.tCount = c.tGateCount();
+    return p;
+}
+
+/**
+ * Merge per-worker traces into the portfolio-level best-cost-over-time
+ * trace documented in portfolio.h: time-sorted, starting at the input
+ * circuit, keeping only strict portfolio-wide improvements.
+ */
+std::vector<TracePoint>
+mergeTraces(std::vector<std::vector<TracePoint>> &worker_traces,
+            const ir::Circuit &input, double input_cost)
+{
+    std::vector<TracePoint> all;
+    for (std::vector<TracePoint> &t : worker_traces) {
+        all.insert(all.end(), t.begin(), t.end());
+        t.clear();
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TracePoint &a, const TracePoint &b) {
+                         return a.seconds < b.seconds;
+                     });
+    std::vector<TracePoint> out;
+    out.push_back(tracePointFor(0.0, input_cost, input));
+    for (const TracePoint &p : all)
+        if (p.cost < out.back().cost)
+            out.push_back(p);
+    return out;
 }
 
 } // namespace
@@ -190,22 +332,22 @@ optimizePortfolio(const ir::Circuit &c, ir::GateSetKind set,
     }
 
     SharedBest shared;
-    shared.circuit = c;
-    shared.cost = cost(c);
-    shared.error = 0;
-    shared.worker = 0;
+    shared.init(c, cost(c));
 
     const support::Deadline deadline =
         support::Deadline::in(cfg.base.timeBudgetSeconds);
 
     std::vector<PortfolioWorkerReport> reports(
         static_cast<std::size_t>(threads));
+    std::vector<std::vector<TracePoint>> traces(
+        static_cast<std::size_t>(threads));
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
     for (int w = 0; w < threads; ++w)
         pool.emplace_back([&, w]() {
-            runWorker(w, c, set, cfg, deadline, cost, shared,
-                      reports[static_cast<std::size_t>(w)]);
+            runWorker(w, c, set, cfg, deadline, timer, cost, shared,
+                      reports[static_cast<std::size_t>(w)],
+                      traces[static_cast<std::size_t>(w)]);
         });
     for (std::thread &t : pool)
         t.join();
@@ -217,6 +359,8 @@ optimizePortfolio(const ir::Circuit &c, ir::GateSetKind set,
     for (PortfolioWorkerReport &r : reports)
         mergeStats(result.stats, r.stats);
     result.workers = std::move(reports);
+    if (cfg.base.recordTrace)
+        result.trace = mergeTraces(traces, c, cost(c));
     result.stats.seconds = timer.seconds();
     return result;
 }

@@ -6,8 +6,11 @@
  * GUOQ is an anytime randomized search, so its solution quality scales
  * with independent restarts; the portfolio turns that into a multi-core
  * optimizer. Workers run core::optimize() in short slices, publish
- * improvements to a mutex-guarded global best between slices, and adopt
- * the global best when another worker has pulled ahead. The returned
+ * improvements to a shared global best between slices, and adopt
+ * the global best when another worker has pulled ahead. The behind-
+ * the-best check runs lock-free against an atomic best-cost mirror
+ * and a publication epoch; the mutex is taken only to copy circuits,
+ * so the exchange scales to high thread counts. The returned
  * circuit still satisfies Thm. 5.3 (C ≡_{ε_f} best): every adopted
  * circuit carries its accumulated ε, and each slice only spends what
  * remains of the budget.
@@ -33,7 +36,11 @@ struct PortfolioConfig
      * worker i > 0 derives an independent stream from it. The time and
      * iteration budgets are per worker (all workers run concurrently,
      * so `base.timeBudgetSeconds` is also the portfolio's wall-clock
-     * budget).
+     * budget). `base.hooks` is portfolio-aware: the cancellation token
+     * is polled inside every worker's search loop and at slice
+     * boundaries, and onBest fires (serialized, possibly from worker
+     * threads) only for portfolio-wide best-cost improvements, stamped
+     * with the finding worker and the portfolio clock.
      */
     GuoqConfig base;
 
@@ -82,10 +89,14 @@ struct PortfolioResult
                              //!< `seconds` = portfolio wall-clock time
     std::vector<PortfolioWorkerReport> workers;
     /**
-     * Best-cost-over-time trace when cfg.base.recordTrace is set and
-     * threads == 1 (the single optimize() run's trace). A multi-worker
-     * portfolio has no single search trajectory, so the trace stays
-     * empty there.
+     * Best-cost-over-time trace when cfg.base.recordTrace is set.
+     * threads == 1 passes the single optimize() run's trace through
+     * unchanged. threads > 1 merges the per-worker slice traces into
+     * one portfolio-level trajectory: points are time-sorted on the
+     * portfolio clock (seconds since the run started), the first point
+     * is the input circuit at t = 0, and every later point is a
+     * *strict* portfolio-wide cost improvement (monotone decreasing),
+     * regardless of which worker found it.
      */
     std::vector<TracePoint> trace;
 };

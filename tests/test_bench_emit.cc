@@ -104,6 +104,7 @@ goldenResults()
     a.caseId = "fig1";
     a.benchmark = "qft_6";
     a.tool = "guoq";
+    a.algorithm = "guoq";
     a.metric = "2q_reduction";
     a.value = 0.25;
     a.seconds = 0.5;
@@ -150,6 +151,7 @@ TEST(BenchEmit, JsonGolden)
                                  "      \"case\": \"fig1\",\n"
                                  "      \"benchmark\": \"qft_6\",\n"
                                  "      \"tool\": \"guoq\",\n"
+                                 "      \"algorithm\": \"guoq\",\n"
                                  "      \"metric\": \"2q_reduction\",\n"
                                  "      \"value\": 0.25,\n"
                                  "      \"seconds\": 0.5,\n"
@@ -161,6 +163,7 @@ TEST(BenchEmit, JsonGolden)
                                  "      \"case\": \"fig1\",\n"
                                  "      \"benchmark\": \"a\\\"b,c\\nd\",\n"
                                  "      \"tool\": \"t\\\\v\",\n"
+                                 "      \"algorithm\": \"\",\n"
                                  "      \"metric\": \"m\",\n"
                                  "      \"value\": -1.5,\n"
                                  "      \"seconds\": 0,\n"
@@ -194,17 +197,20 @@ TEST(BenchEmit, JsonEmptyResultsAndNonFiniteValues)
 
     // CSV mirrors null as an empty field: no "nan"/"inf" tokens.
     const std::string csv = bench::toCsv({r});
-    EXPECT_NE(csv.find("c,,,,,,0,0,"), std::string::npos);
+    EXPECT_NE(csv.find("c,,,,,,0,0,,"), std::string::npos);
     EXPECT_EQ(csv.find("nan"), std::string::npos);
     EXPECT_EQ(csv.find("inf"), std::string::npos);
 }
 
 TEST(BenchEmit, CsvGolden)
 {
+    // `algorithm` rides at the end so the original columns keep their
+    // positions for pre-existing CSV consumers.
     const std::string expected =
-        "case,benchmark,tool,metric,value,seconds,trial,seed,workers\n"
-        "fig1,qft_6,guoq,2q_reduction,0.25,0.5,0,7,0.25;0.5\n"
-        "fig1,\"a\"\"b,c\nd\",t\\v,m,-1.5,0,1,8,\n";
+        "case,benchmark,tool,metric,value,seconds,trial,seed,workers,"
+        "algorithm\n"
+        "fig1,qft_6,guoq,2q_reduction,0.25,0.5,0,7,0.25;0.5,guoq\n"
+        "fig1,\"a\"\"b,c\nd\",t\\v,m,-1.5,0,1,8,,\n";
     EXPECT_EQ(bench::toCsv(goldenResults()), expected);
 }
 
@@ -249,10 +255,11 @@ TEST(BenchEmit, CsvRoundTripsThroughRfc4180Parser)
     const auto records = parseCsv(bench::toCsv(goldenResults()));
     ASSERT_EQ(records.size(), 3u); // header + 2 rows
     for (const auto &record : records)
-        EXPECT_EQ(record.size(), 9u);
+        EXPECT_EQ(record.size(), 10u);
     EXPECT_EQ(records[0][0], "case");
     EXPECT_EQ(records[1][1], "qft_6");
     EXPECT_EQ(records[1][8], "0.25;0.5");
+    EXPECT_EQ(records[1][9], "guoq");
     // The embedded quote, comma, and newline survive the round trip.
     EXPECT_EQ(records[2][1], "a\"b,c\nd");
     EXPECT_EQ(records[2][4], "-1.5");
@@ -275,6 +282,7 @@ TEST(BatchEmit, JsonGolden)
     meta.outputDir = "suite-opt";
     meta.gateSet = "nam";
     meta.objective = "2q-count";
+    meta.algorithm = "guoq";
     meta.epsilon = 0;
     meta.timeBudgetSeconds = 1;
     meta.threads = 1;
@@ -285,6 +293,7 @@ TEST(BatchEmit, JsonGolden)
     ok.file = "bell.qasm";
     ok.status = "ok";
     ok.dialect = "qasm2";
+    ok.algorithm = "guoq";
     ok.output = "suite-opt/bell.qasm";
     ok.qubits = 2;
     ok.gatesBefore = 4;
@@ -298,6 +307,7 @@ TEST(BatchEmit, JsonGolden)
     bad.file = "sub/broken.qasm";
     bad.status = "parse_error";
     bad.dialect = "qasm3";
+    bad.algorithm = "guoq";
     bad.line = 3;
     bad.col = 7;
     bad.message = "unknown gate 'frob\"nicate'";
@@ -311,6 +321,7 @@ TEST(BatchEmit, JsonGolden)
         "    \"output_dir\": \"suite-opt\",\n"
         "    \"gate_set\": \"nam\",\n"
         "    \"objective\": \"2q-count\",\n"
+        "    \"algorithm\": \"guoq\",\n"
         "    \"epsilon\": 0,\n"
         "    \"time\": 1,\n"
         "    \"threads\": 1,\n"
@@ -325,6 +336,7 @@ TEST(BatchEmit, JsonGolden)
         "      \"file\": \"bell.qasm\",\n"
         "      \"status\": \"ok\",\n"
         "      \"dialect\": \"qasm2\",\n"
+        "      \"algorithm\": \"guoq\",\n"
         "      \"output\": \"suite-opt/bell.qasm\",\n"
         "      \"qubits\": 2,\n"
         "      \"gates_before\": 4,\n"
@@ -338,6 +350,7 @@ TEST(BatchEmit, JsonGolden)
         "      \"file\": \"sub/broken.qasm\",\n"
         "      \"status\": \"parse_error\",\n"
         "      \"dialect\": \"qasm3\",\n"
+        "      \"algorithm\": \"guoq\",\n"
         "      \"line\": 3,\n"
         "      \"col\": 7,\n"
         "      \"message\": \"unknown gate 'frob\\\"nicate'\",\n"

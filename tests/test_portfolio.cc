@@ -108,16 +108,80 @@ TEST(Portfolio, ExposesPerWorkerWallTimeAndSingleThreadTrace)
     ASSERT_EQ(p.workers.size(), 1u);
     EXPECT_GE(p.workers[0].wallSeconds, 0.0);
 
-    // threads > 1: every worker reports a wall time; no single
-    // trajectory exists, so the trace stays empty.
+    // threads > 1: every worker reports a wall time, and the per-
+    // worker traces merge into one portfolio-level trajectory (see
+    // MultiWorkerTraceIsMergedAndMonotone).
     core::PortfolioConfig multi = iterConfig(3, 100);
     multi.base.recordTrace = true;
     const core::PortfolioResult q =
         core::optimizePortfolio(c, ir::GateSetKind::Nam, multi);
-    EXPECT_TRUE(q.trace.empty());
+    EXPECT_FALSE(q.trace.empty());
     ASSERT_EQ(q.workers.size(), 3u);
     for (const core::PortfolioWorkerReport &w : q.workers)
         EXPECT_GE(w.wallSeconds, 0.0);
+}
+
+TEST(Portfolio, MultiWorkerTraceIsMergedAndMonotone)
+{
+    const ir::Circuit c = testCircuit(6, 40);
+    const core::CostFunction cost(core::Objective::TwoQubitCount,
+                                  ir::GateSetKind::Nam);
+    core::PortfolioConfig cfg = iterConfig(3, 250);
+    cfg.base.recordTrace = true;
+    const core::PortfolioResult p =
+        core::optimizePortfolio(c, ir::GateSetKind::Nam, cfg);
+
+    // The merged trace starts at the input circuit at t = 0 and every
+    // later point is a strict portfolio-wide improvement, time-sorted.
+    ASSERT_FALSE(p.trace.empty());
+    EXPECT_DOUBLE_EQ(p.trace.front().cost, cost(c));
+    EXPECT_DOUBLE_EQ(p.trace.front().seconds, 0.0);
+    EXPECT_EQ(p.trace.front().gateCount, c.gateCount());
+    for (std::size_t i = 1; i < p.trace.size(); ++i) {
+        EXPECT_LT(p.trace[i].cost, p.trace[i - 1].cost);
+        EXPECT_GE(p.trace[i].seconds, p.trace[i - 1].seconds);
+    }
+    // The trajectory ends at the returned best cost.
+    EXPECT_DOUBLE_EQ(p.trace.back().cost, p.bestCost);
+}
+
+TEST(Portfolio, HighThreadCountStressKeepsInvariants)
+{
+    // Satellite of the epoch/atomic fast-path rework: at threads >= 8
+    // the sliced time-budget exchange must still uphold every result
+    // invariant (monotone global best, per-worker consistency, eps
+    // accounting).
+    const ir::Circuit c = testCircuit(7, 60);
+    const double eps = 1e-5;
+    const core::CostFunction cost(core::Objective::TwoQubitCount,
+                                  ir::GateSetKind::Nam);
+    core::PortfolioConfig cfg;
+    cfg.threads = 8;
+    cfg.base.epsilonTotal = eps;
+    cfg.base.timeBudgetSeconds = 1.0;
+    cfg.syncIntervalSeconds = 0.05; // many exchanges, small slices
+    cfg.base.seed = 23;
+    support::Timer timer;
+    const core::PortfolioResult p =
+        core::optimizePortfolio(c, ir::GateSetKind::Nam, cfg);
+    EXPECT_LT(timer.seconds(), 30.0);
+
+    EXPECT_DOUBLE_EQ(cost(p.best), p.bestCost);
+    EXPECT_LE(p.bestCost, cost(c));
+    EXPECT_LE(p.errorBound, eps);
+    EXPECT_GE(p.winningWorker, 0);
+    EXPECT_LT(p.winningWorker, cfg.threads);
+    ASSERT_EQ(p.workers.size(), 8u);
+    long total_iterations = 0;
+    for (const core::PortfolioWorkerReport &w : p.workers) {
+        // The global best is at least as good as what every worker
+        // ended with (each worker offers its final circuit).
+        EXPECT_GE(w.finalCost, p.bestCost);
+        EXPECT_LE(w.errorBound, eps);
+        total_iterations += w.stats.iterations;
+    }
+    EXPECT_EQ(p.stats.iterations, total_iterations);
+    EXPECT_GT(p.stats.iterations, 0);
 }
 
 TEST(Portfolio, WorkerSeedsAreDistinctAndStable)

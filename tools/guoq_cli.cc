@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "bench/emit.h"
+#include "core/optimizer.h"
 #include "core/portfolio.h"
 #include "ir/gate_set.h"
 #include "qasm/parser.h"
@@ -90,6 +91,14 @@ usage(const char *argv0)
         "                   stdout (default <out-dir>/summary.json)\n"
         "\n"
         "optimization:\n"
+        "  --algorithm A    optimizer to run (default guoq); see\n"
+        "                   --list-algorithms for the full registry\n"
+        "  --param K=V      algorithm-specific parameter (repeatable);\n"
+        "                   keys are validated against the selected\n"
+        "                   algorithm's declared parameters\n"
+        "  --list-algorithms\n"
+        "                   list registered algorithms and their\n"
+        "                   parameters, then exit\n"
         "  --gate-set S     ibmq20 | ibm-eagle | ionq | nam | cliffordt\n"
         "                   (default nam)\n"
         "  --objective O    2q-count | t-count | 2t+cx | fidelity |\n"
@@ -107,6 +116,8 @@ usage(const char *argv0)
         "  --verify         recompute the Hilbert-Schmidt distance of\n"
         "                   the result against the input (<= 10 qubits;\n"
         "                   batch mode skips larger files with a note)\n"
+        "  --progress       stream best-cost improvements to stderr as\n"
+        "                   they happen (single-file mode)\n"
         "  --quiet          suppress the stderr report\n"
         "  -h, --help       show this message\n",
         argv0);
@@ -207,12 +218,52 @@ struct CliOptions
     qasm::Dialect inDialect = qasm::Dialect::Auto;
     qasm::Dialect outDialect = qasm::Dialect::Auto;
     ir::GateSetKind set = ir::GateSetKind::Nam;
+    std::string algorithm = "guoq";
+    core::ParamMap params;
     core::PortfolioConfig cfg;
     int jobs = 1;
     bool keepGoing = false;
     bool verify = false;
+    bool progress = false;
     bool quiet = false;
+
+    /** The registry entry selected by --algorithm; resolved (and
+     *  params validated) once in main(). */
+    const core::Optimizer *optimizer = nullptr;
+
+    /** The circuit-independent request --algorithm/--param and the
+     *  shared flags describe. */
+    core::OptimizeRequest
+    request() const
+    {
+        core::OptimizeRequest req;
+        req.set = set;
+        req.objective = cfg.base.objective;
+        req.epsilonTotal = cfg.base.epsilonTotal;
+        req.timeBudgetSeconds = cfg.base.timeBudgetSeconds;
+        req.maxIterations = cfg.base.maxIterations;
+        req.seed = cfg.base.seed;
+        req.threads = cfg.threads;
+        req.params = params;
+        return req;
+    }
 };
+
+/** --list-algorithms: the registry, self-described. */
+void
+listAlgorithms()
+{
+    for (const core::Optimizer *opt :
+         core::OptimizerRegistry::global().all()) {
+        const core::OptimizerInfo &info = opt->info();
+        std::printf("%-18s %s\n", info.name.c_str(),
+                    info.summary.c_str());
+        for (const core::ParamSpec &p : info.params)
+            std::printf("    --param %s=<%s>  %s (default %s)\n",
+                        p.key.c_str(), core::paramKindName(p.kind),
+                        p.summary.c_str(), p.defaultValue.c_str());
+    }
+}
 
 double
 secondsSince(const std::chrono::steady_clock::time_point &t0)
@@ -268,6 +319,7 @@ processFile(const fs::path &in, const fs::path &root,
     qasm::ParseResult pr =
         qasm::parseSourceFile(in.string(), opt.inDialect);
     e.dialect = qasm::dialectName(pr.dialect);
+    e.algorithm = opt.algorithm;
     if (!pr.ok) {
         e.status = "parse_error";
         e.line = pr.error.line;
@@ -282,14 +334,14 @@ processFile(const fs::path &in, const fs::path &root,
     e.gatesBefore = input.size();
     e.twoQubitBefore = input.twoQubitGateCount();
 
-    const core::PortfolioResult result =
-        core::optimizePortfolio(input, opt.set, opt.cfg);
-    e.gatesAfter = result.best.size();
-    e.twoQubitAfter = result.best.twoQubitGateCount();
+    const core::OptimizeReport result =
+        opt.optimizer->run(input, opt.request());
+    e.gatesAfter = result.circuit.size();
+    e.twoQubitAfter = result.circuit.twoQubitGateCount();
     e.errorBound = result.errorBound;
 
     if (opt.verify && input.numQubits() <= 10) {
-        const double d = sim::circuitDistance(input, result.best);
+        const double d = sim::circuitDistance(input, result.circuit);
         if (d > opt.cfg.base.epsilonTotal + 1e-6) {
             e.status = "verify_failed";
             e.message = support::strcat(
@@ -307,7 +359,7 @@ processFile(const fs::path &in, const fs::path &root,
     fs::create_directories(outPath.parent_path(), ec);
     std::ofstream out(outPath);
     if (out) {
-        out << qasm::toQasm(result.best,
+        out << qasm::toQasm(result.circuit,
                             outputDialect(opt, pr.dialect));
         // close() forces the flush so a full disk surfaces here, not
         // in the destructor where the failure would be invisible.
@@ -372,10 +424,12 @@ runBatch(const CliOptions &opt)
     if (!opt.quiet)
         std::fprintf(stderr,
                      "guoq_cli: batch of %zu file(s) from %s -> %s, "
-                     "%d job(s) x %d thread(s), %gs per file\n",
+                     "algorithm %s, %d job(s) x %d thread(s), %gs per "
+                     "file\n",
                      files.size(), root.generic_string().c_str(),
-                     outRoot.generic_string().c_str(), opt.jobs,
-                     opt.cfg.threads, opt.cfg.base.timeBudgetSeconds);
+                     outRoot.generic_string().c_str(),
+                     opt.algorithm.c_str(), opt.jobs, opt.cfg.threads,
+                     opt.cfg.base.timeBudgetSeconds);
 
     // Worker pool: --jobs files in flight, each running its own
     // --threads portfolio.
@@ -452,6 +506,7 @@ runBatch(const CliOptions &opt)
     meta.outputDir = outRoot.generic_string();
     meta.gateSet = ir::gateSetName(opt.set);
     meta.objective = core::objectiveName(opt.cfg.base.objective);
+    meta.algorithm = opt.algorithm;
     meta.epsilon = opt.cfg.base.epsilonTotal;
     meta.timeBudgetSeconds = opt.cfg.base.timeBudgetSeconds;
     meta.threads = opt.cfg.threads;
@@ -512,25 +567,40 @@ runSingle(const CliOptions &opt)
     if (!opt.quiet)
         std::fprintf(stderr,
                      "guoq_cli: %zu gates (%zu two-qubit) on %d qubits "
-                     "(%s), gate set %s, objective %s, eps=%g, %gs x "
-                     "%d thread(s)\n",
+                     "(%s), algorithm %s, gate set %s, objective %s, "
+                     "eps=%g, %gs x %d thread(s)\n",
                      input.size(), input.twoQubitGateCount(),
                      input.numQubits(),
                      qasm::dialectName(pr.dialect).c_str(),
+                     opt.algorithm.c_str(),
                      ir::gateSetName(opt.set).c_str(),
                      core::objectiveName(opt.cfg.base.objective).c_str(),
                      opt.cfg.base.epsilonTotal,
                      opt.cfg.base.timeBudgetSeconds, opt.cfg.threads);
 
-    const core::PortfolioResult result =
-        core::optimizePortfolio(input, opt.set, opt.cfg);
+    core::OptimizeRequest req = opt.request();
+    if (opt.progress)
+        req.hooks.onBest = [](const core::ProgressEvent &ev) {
+            if (ev.worker >= 0)
+                std::fprintf(stderr,
+                             "guoq_cli: t=%.3fs best cost %g (%zu "
+                             "gates, worker %d)\n",
+                             ev.seconds, ev.cost, ev.gateCount,
+                             ev.worker);
+            else
+                std::fprintf(stderr,
+                             "guoq_cli: t=%.3fs best cost %g (%zu "
+                             "gates)\n",
+                             ev.seconds, ev.cost, ev.gateCount);
+        };
+    const core::OptimizeReport result = opt.optimizer->run(input, req);
 
     if (!opt.quiet) {
         std::fprintf(stderr,
-                     "guoq_cli: best cost %g (worker %d), %zu gates "
+                     "guoq_cli: best cost %g, %zu gates "
                      "(%zu two-qubit), error bound %.3g\n",
-                     result.bestCost, result.winningWorker,
-                     result.best.size(), result.best.twoQubitGateCount(),
+                     result.cost, result.circuit.size(),
+                     result.circuit.twoQubitGateCount(),
                      result.errorBound);
         std::fprintf(stderr,
                      "guoq_cli: %ld iterations total, %ld accepted, "
@@ -547,7 +617,7 @@ runSingle(const CliOptions &opt)
     }
 
     if (opt.verify) {
-        const double d = sim::circuitDistance(input, result.best);
+        const double d = sim::circuitDistance(input, result.circuit);
         std::fprintf(stderr,
                      "guoq_cli: verified HS distance %.3g (budget %g)\n",
                      d, opt.cfg.base.epsilonTotal);
@@ -560,9 +630,9 @@ runSingle(const CliOptions &opt)
 
     const qasm::Dialect out_d = outputDialect(opt, pr.dialect);
     if (opt.outPath == "-")
-        std::fputs(qasm::toQasm(result.best, out_d).c_str(), stdout);
+        std::fputs(qasm::toQasm(result.circuit, out_d).c_str(), stdout);
     else
-        qasm::writeQasmFile(result.best, opt.outPath, out_d);
+        qasm::writeQasmFile(result.circuit, opt.outPath, out_d);
     return 0;
 }
 
@@ -618,6 +688,17 @@ main(int argc, char **argv)
             const std::string name = value(i);
             if (!qasm::dialectFromName(name, &opt.outDialect))
                 die("unknown dialect '" + name + "'");
+        } else if (arg == "--list-algorithms") {
+            listAlgorithms();
+            return 0;
+        } else if (arg == "--algorithm") {
+            opt.algorithm = value(i);
+        } else if (arg == "--param") {
+            const std::string kv = value(i);
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0)
+                die("--param expects KEY=VALUE, got '" + kv + "'");
+            opt.params[kv.substr(0, eq)] = kv.substr(eq + 1);
         } else if (arg == "--gate-set") {
             const std::string name = value(i);
             if (!parseGateSet(name, opt.set))
@@ -657,6 +738,8 @@ main(int argc, char **argv)
                 die("--iterations must be >= 1");
         } else if (arg == "--verify") {
             opt.verify = true;
+        } else if (arg == "--progress") {
+            opt.progress = true;
         } else if (arg == "--quiet") {
             opt.quiet = true;
         } else {
@@ -672,6 +755,31 @@ main(int argc, char **argv)
         (!opt.outDir.empty() || !opt.summaryPath.empty() ||
          opt.jobs != 1 || opt.keepGoing))
         die("--out-dir/--summary/--jobs/--keep-going require --batch");
+    if (batch && opt.progress)
+        die("--progress requires single-file mode");
+
+    // Resolve --algorithm against the registry and validate every
+    // --param key/value against its declared metadata — a typo must
+    // fail loudly here, not be silently ignored by the run.
+    const core::OptimizerRegistry &registry =
+        core::OptimizerRegistry::global();
+    opt.optimizer = registry.find(opt.algorithm);
+    if (!opt.optimizer) {
+        std::string msg = "unknown algorithm '" + opt.algorithm + "'";
+        const std::string guess =
+            core::closestName(opt.algorithm, registry.names());
+        if (!guess.empty())
+            msg += " (did you mean '" + guess + "'?)";
+        die(msg + "; see --list-algorithms");
+    }
+    // checkRequest covers both the --param metadata and algorithm
+    // preconditions (e.g. guoq-resynth without --epsilon), so a
+    // misconfigured run is a usage error here instead of a fatal()
+    // abort mid-run (which in batch mode would lose the summary).
+    const std::string request_err =
+        opt.optimizer->checkRequest(opt.request());
+    if (!request_err.empty())
+        die(request_err);
 
     // An iteration cap without an explicit --time means "reproducible
     // run": lift the default 10 s budget so the cap — not machine
