@@ -1,0 +1,31 @@
+// A 12-qubit GHZ ladder padded with self-cancelling pairs: wide
+// enough that the dense verifier can never touch it (the batch/CI
+// case for `--verify --verify-method sampling`), with enough
+// redundancy that the optimizer has something to remove.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[12];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+cx q[2], q[3];
+cx q[3], q[4];
+cx q[4], q[5];
+cx q[5], q[6];
+cx q[6], q[7];
+cx q[7], q[8];
+cx q[8], q[9];
+cx q[9], q[10];
+cx q[10], q[11];
+h q[11];
+h q[11];
+cx q[4], q[5];
+cx q[4], q[5];
+t q[3];
+tdg q[3];
+s q[7];
+sdg q[7];
+x q[9];
+x q[9];
+cx q[0], q[1];
+cx q[0], q[1];

@@ -163,9 +163,14 @@ std::string
 toBatchJson(const BatchRunMeta &meta,
             const std::vector<BatchFileEntry> &files)
 {
-    std::size_t ok = 0;
-    for (const BatchFileEntry &f : files)
+    // Three-way tally: a verify_skipped file was optimized and written
+    // but not checked — visible in its own counter, neither a silent
+    // pass ("ok") nor a failure.
+    std::size_t ok = 0, skipped = 0;
+    for (const BatchFileEntry &f : files) {
         ok += f.status == "ok" ? 1 : 0;
+        skipped += f.status == "verify_skipped" ? 1 : 0;
+    }
 
     std::string out;
     auto str = [&out](const char *key, const std::string &v) {
@@ -193,7 +198,9 @@ toBatchJson(const BatchRunMeta &meta,
     out += ",\n    \"seed\": " + u64(meta.seed);
     out += ",\n    \"files\": " + std::to_string(files.size());
     out += ",\n    \"ok\": " + std::to_string(ok);
-    out += ",\n    \"failed\": " + std::to_string(files.size() - ok);
+    out += ",\n    \"failed\": " +
+           std::to_string(files.size() - ok - skipped);
+    out += ",\n    \"verify_skipped\": " + std::to_string(skipped);
     out += "\n  },\n";
     out += "  \"files\": [";
     for (std::size_t i = 0; i < files.size(); ++i) {
@@ -206,7 +213,7 @@ toBatchJson(const BatchRunMeta &meta,
         str("\"dialect\"", f.dialect);
         out += ",\n      ";
         str("\"algorithm\"", f.algorithm);
-        if (f.status == "ok") {
+        if (f.status == "ok" || f.status == "verify_skipped") {
             out += ",\n      ";
             str("\"output\"", f.output);
             out += ",\n      \"qubits\": " + std::to_string(f.qubits);
@@ -220,8 +227,8 @@ toBatchJson(const BatchRunMeta &meta,
                    std::to_string(f.twoQubitAfter);
             out += ",\n      \"error_bound\": " +
                    jsonNumber(f.errorBound);
-            // An ok entry can still carry a note (e.g. "verify
-            // skipped: more than 10 qubits").
+            // Notes ride along (a verify_skipped entry always has
+            // one explaining why the check could not run).
             if (!f.message.empty()) {
                 out += ",\n      ";
                 str("\"message\"", f.message);
@@ -231,6 +238,20 @@ toBatchJson(const BatchRunMeta &meta,
             out += ",\n      \"col\": " + std::to_string(f.col);
             out += ",\n      ";
             str("\"message\"", f.message);
+        }
+        if (f.verified) {
+            out += ",\n      \"verify\": {\n        ";
+            str("\"method\"", f.verifyMethod);
+            out += ",\n        \"distance\": " +
+                   jsonNumber(f.verifyDistance);
+            out += ",\n        \"bound\": " + jsonNumber(f.verifyBound);
+            out += ",\n        \"confidence\": " +
+                   jsonNumber(f.verifyConfidence);
+            out += ",\n        \"shots\": " +
+                   std::to_string(f.verifyShots);
+            out += ",\n        ";
+            str("\"verdict\"", f.verifyVerdict);
+            out += "\n      }";
         }
         out += ",\n      \"seconds\": " + jsonNumber(f.seconds);
         out += "\n    }";

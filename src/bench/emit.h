@@ -55,8 +55,8 @@ std::string toCsv(const std::vector<CaseResult> &results);
 struct BatchFileEntry
 {
     std::string file;    //!< input path relative to the batch root
-    std::string status;  //!< "ok" | "parse_error" | "verify_failed" |
-                         //!< "write_error"
+    std::string status;  //!< "ok" | "verify_skipped" | "parse_error" |
+                         //!< "verify_failed" | "write_error"
     std::string dialect; //!< input dialect actually parsed
     std::string algorithm; //!< registry name of the optimizer used
     std::string output;  //!< written output path (ok entries only)
@@ -70,6 +70,18 @@ struct BatchFileEntry
     int line = 0;          //!< error position (failures; 0 = n/a)
     int col = 0;
     std::string message;   //!< error message (failures only)
+
+    /** @name Verification outcome (--verify runs that completed;
+     *  stamped on ok and verify_failed entries alike) */
+    /** @{ */
+    bool verified = false;      //!< a check ran; the fields below hold
+    std::string verifyMethod;   //!< backend that ran ("dense", ...)
+    double verifyDistance = 0;  //!< Δ estimate
+    double verifyBound = 0;     //!< confidence-interval half-width
+    double verifyConfidence = 0; //!< confidence the bound holds
+    long verifyShots = 0;       //!< shots spent (0 = exact)
+    std::string verifyVerdict;  //!< "equivalent" | "inequivalent"
+    /** @} */
 };
 
 /** Provenance header of one batch run. */
@@ -95,12 +107,15 @@ struct BatchRunMeta
  *     "run": {"input_dir": ..., "output_dir": ..., "gate_set": ...,
  *             "objective": ..., "algorithm": ..., "epsilon": ...,
  *             "time": ..., "threads": ..., "jobs": ..., "seed": ...,
- *             "files": N, "ok": N, "failed": N},
+ *             "files": N, "ok": N, "failed": N, "verify_skipped": N},
  *     "files": [
  *       {"file": ..., "status": "ok", "dialect": ...,
  *        "algorithm": ..., "output": ..., "qubits": ...,
  *        "gates_before": ..., "gates_after": ..., "twoq_before": ...,
- *        "twoq_after": ..., "error_bound": ..., "seconds": ...},
+ *        "twoq_after": ..., "error_bound": ...,
+ *        "verify": {"method": ..., "distance": ..., "bound": ...,
+ *                   "confidence": ..., "shots": ..., "verdict": ...},
+ *        "seconds": ...},
  *       {"file": ..., "status": "parse_error", "dialect": ...,
  *        "algorithm": ..., "line": ..., "col": ..., "message": ...,
  *        "seconds": ...}
@@ -108,7 +123,10 @@ struct BatchRunMeta
  *   }
  *
  * Failed entries carry line/col/message instead of the circuit
- * fields; docs/FORMATS.md is the schema's authoritative description.
+ * fields; "verify_skipped" entries are ok-shaped plus a message and
+ * count neither as ok nor failed. The "verify" block appears on any
+ * entry whose check completed (ok and verify_failed alike);
+ * docs/FORMATS.md is the schema's authoritative description.
  */
 std::string toBatchJson(const BatchRunMeta &meta,
                         const std::vector<BatchFileEntry> &files);

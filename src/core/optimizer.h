@@ -33,6 +33,7 @@
 #include "core/portfolio.h"
 #include "ir/circuit.h"
 #include "ir/gate_set.h"
+#include "verify/checker.h"
 
 namespace guoq {
 namespace core {
@@ -118,6 +119,13 @@ struct OptimizeReport
     std::vector<TracePoint> trace;
     /** Per-worker detail for portfolio-backed runs (empty otherwise). */
     std::vector<PortfolioWorkerReport> workers;
+    /**
+     * Post-hoc equivalence check of `circuit` against the optimizer's
+     * input, when the consumer ran one through verify/checker.h (the
+     * CLI's --verify fills it). `verification.method` empty = none
+     * was performed.
+     */
+    verify::VerifyReport verification;
 };
 
 /** The polymorphic optimizer interface. */

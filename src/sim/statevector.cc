@@ -77,15 +77,21 @@ StateVector::probability(std::size_t index) const
     return std::norm(amps_[index]);
 }
 
-double
-StateVector::overlap(const StateVector &other) const
+Complex
+StateVector::innerProduct(const StateVector &other) const
 {
     if (other.amps_.size() != amps_.size())
-        support::panic("StateVector::overlap: size mismatch");
+        support::panic("StateVector::innerProduct: size mismatch");
     Complex acc = 0;
     for (std::size_t i = 0; i < amps_.size(); ++i)
         acc += std::conj(amps_[i]) * other.amps_[i];
-    return std::abs(acc);
+    return acc;
+}
+
+double
+StateVector::overlap(const StateVector &other) const
+{
+    return std::abs(innerProduct(other));
 }
 
 StateVector

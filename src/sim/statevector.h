@@ -36,6 +36,11 @@ class StateVector
     /** Probability of measuring basis state @p index. */
     double probability(std::size_t index) const;
 
+    /** Complex inner product <this|other>. The verification layer's
+     *  sampling backend averages this over random product states to
+     *  estimate Tr(U†V)/2^n (verify/sampling.cc). */
+    linalg::Complex innerProduct(const StateVector &other) const;
+
     /** Inner-product magnitude |<this|other>|. */
     double overlap(const StateVector &other) const;
 

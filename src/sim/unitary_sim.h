@@ -8,6 +8,11 @@
  *
  * Complexity is O(4^n) memory, so this is reserved for subcircuits
  * (resynthesis, ≤ 4 qubits) and for test oracles (≤ 10 qubits).
+ *
+ * circuitDistance/circuitsEquivalent are the primitives behind the
+ * verification layer's `dense` backend; consumers that need to scale
+ * past this cap should go through verify/checker.h, whose `sampling`
+ * backend estimates the same distance on a statevector budget.
  */
 
 #pragma once

@@ -1,6 +1,5 @@
 #include "synth/resynth.h"
 
-#include "linalg/unitary.h"
 #include "rewrite/applier.h"
 #include "rewrite/rule.h"
 #include "sim/unitary_sim.h"
@@ -8,6 +7,7 @@
 #include "synth/finite_synth.h"
 #include "synth/qsearch.h"
 #include "transpile/to_gate_set.h"
+#include "verify/checker.h"
 
 namespace guoq {
 namespace synth {
@@ -93,13 +93,21 @@ resynthesize(const ir::Circuit &sub, const ResynthOptions &opts,
 
     // Re-express natively (exact), then re-verify the distance so a
     // transpiler defect can never smuggle error past the ε budget.
+    // The check runs through the verification layer's dense backend —
+    // the same assertion path as `guoq_cli --verify` — whose exact
+    // distance (no bound, no tolerance) preserves the strict
+    // `check > eps_eff` discard.
     ir::Circuit native =
         cleanupNative(transpile::toGateSet(raw, opts.targetSet),
                       opts.targetSet);
-    const double check =
-        linalg::hsDistance(target, sim::circuitUnitary(native));
     const double eps_eff = opts.epsilon > 0 ? opts.epsilon : 1e-7;
-    if (check > eps_eff) {
+    verify::VerifyRequest vreq;
+    vreq.epsilon = eps_eff;
+    vreq.method = "dense";
+    const verify::VerifyReport vr =
+        verify::verifyEquivalence(sub, native, vreq);
+    const double check = vr.distanceEstimate;
+    if (vr.verdict == verify::Verdict::Inequivalent) {
         support::warn("resynthesize: native re-expression exceeded the "
                       "error budget; discarding the result");
         return result;

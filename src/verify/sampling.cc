@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The `sampling` backend: a Hutchinson-style estimator of the HS
+ * overlap x = |Tr(U†V)| / 2^n that never materializes a unitary.
+ *
+ * Each shot draws a Haar-random product state |ψ⟩ = ⊗_q |ψ_q⟩ (so
+ * E[|ψ⟩⟨ψ|] = I/2^n), runs both circuits on it with sim::StateVector
+ * (O(gates·2^n) work, two 2^n buffers), and records the complex value
+ * ⟨C1ψ|C2ψ⟩, whose expectation is Tr(U†V)/2^n and whose modulus is
+ * ≤ 1. The shot mean m gives the estimate Δ̂ = sqrt(1 − |m|²) and a
+ * Hoeffding bound: each of Re/Im lies within t = sqrt(2·ln(4/δ)/S) of
+ * its mean with total failure probability ≤ δ = 1 − confidence, so
+ * |m| is within t·√2 of |Tr(U†V)|/2^n and the x-interval maps through
+ * the decreasing Δ(x) = sqrt(1 − x²) to a distance interval.
+ *
+ * Determinism: the per-shot seeds are pre-drawn from the request seed
+ * and the accumulation is a pairwise sum over the shot-indexed value
+ * array, so a fixed seed gives a bit-identical estimate at any thread
+ * count (pinned by tests/test_verify.cc).
+ */
+
+#include "verify/checker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "sim/statevector.h"
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/timer.h"
+
+namespace guoq {
+namespace verify {
+
+namespace {
+
+using linalg::Complex;
+
+/** A Haar-random single-qubit state as the U3 angles rotating |0⟩
+ *  onto it: cos θ uniform in [−1, 1], azimuth uniform in [0, 2π). */
+ir::Gate
+randomBlochGate(int qubit, support::Rng &rng)
+{
+    const double theta = std::acos(1.0 - 2.0 * rng.uniform());
+    const double phi = rng.uniform(0, 2.0 * M_PI);
+    return ir::Gate(ir::GateKind::U3, {qubit}, {theta, phi, 0.0});
+}
+
+/** One shot: ⟨C1ψ|C2ψ⟩ for a fresh random product state ψ. */
+Complex
+shotOverlap(const ir::Circuit &a, const ir::Circuit &b,
+            std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    sim::StateVector psi(a.numQubits());
+    for (int q = 0; q < a.numQubits(); ++q)
+        psi.apply(randomBlochGate(q, rng));
+    sim::StateVector left = psi;
+    left.apply(a);
+    psi.apply(b);
+    return left.innerProduct(psi);
+}
+
+/** Deterministic pairwise sum of vals[lo, hi): the same association
+ *  order regardless of how many threads filled the array. */
+Complex
+pairwiseSum(const std::vector<Complex> &vals, std::size_t lo,
+            std::size_t hi)
+{
+    if (hi - lo <= 8) {
+        Complex acc = 0;
+        for (std::size_t i = lo; i < hi; ++i)
+            acc += vals[i];
+        return acc;
+    }
+    const std::size_t mid = lo + (hi - lo) / 2;
+    return pairwiseSum(vals, lo, mid) + pairwiseSum(vals, mid, hi);
+}
+
+class SamplingChecker final : public EquivalenceChecker
+{
+  public:
+    const CheckerInfo &
+    info() const override
+    {
+        static const CheckerInfo kInfo{
+            "sampling",
+            "HS overlap estimate via random product states"};
+        return kInfo;
+    }
+
+    std::string
+    checkRequest(const ir::Circuit &a, const ir::Circuit &b,
+                 const VerifyRequest &req) const override
+    {
+        const std::string common =
+            EquivalenceChecker::checkRequest(a, b, req);
+        if (!common.empty())
+            return common;
+        if (a.numQubits() > kMaxSamplingQubits)
+            return support::strcat(
+                "sampling verification holds two 2^n statevectors and "
+                "supports at most ",
+                kMaxSamplingQubits, " qubits; the circuits have ",
+                a.numQubits());
+        return "";
+    }
+
+    VerifyReport
+    run(const ir::Circuit &a, const ir::Circuit &b,
+        const VerifyRequest &req) const override
+    {
+        support::Timer timer;
+        const std::size_t shots = static_cast<std::size_t>(req.shots);
+
+        // Pre-draw every shot's seed from one stream so the work
+        // split across threads cannot change what any shot computes.
+        std::vector<std::uint64_t> seeds(shots);
+        support::Rng seeder(req.seed);
+        for (std::uint64_t &s : seeds)
+            s = seeder();
+
+        std::vector<Complex> vals(shots);
+        const std::size_t workers = std::min<std::size_t>(
+            static_cast<std::size_t>(req.threads), shots);
+        if (workers <= 1) {
+            for (std::size_t i = 0; i < shots; ++i)
+                vals[i] = shotOverlap(a, b, seeds[i]);
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            for (std::size_t w = 0; w < workers; ++w) {
+                // Blocked split: worker w covers [lo, hi).
+                const std::size_t lo = shots * w / workers;
+                const std::size_t hi = shots * (w + 1) / workers;
+                pool.emplace_back([&, lo, hi] {
+                    for (std::size_t i = lo; i < hi; ++i)
+                        vals[i] = shotOverlap(a, b, seeds[i]);
+                });
+            }
+            for (std::thread &t : pool)
+                t.join();
+        }
+
+        const Complex mean =
+            pairwiseSum(vals, 0, shots) / static_cast<double>(shots);
+        const double x = std::min(std::abs(mean), 1.0);
+
+        // Hoeffding over the two components, each in [−1, 1]: with
+        // per-component deviation t, both hold except with
+        // probability δ, so |mean − E| ≤ t·√2.
+        const double delta = 1.0 - req.confidence;
+        const double t = std::sqrt(
+            2.0 * std::log(4.0 / delta) / static_cast<double>(shots));
+        const double ex = t * std::sqrt(2.0);
+        const double x_lo = std::max(0.0, x - ex);
+        const double x_hi = std::min(1.0, x + ex);
+
+        // Δ(x) = sqrt(1 − x²) is decreasing, so the x-interval's ends
+        // swap into [d_lo, d_hi] around the point estimate.
+        const double dist = std::sqrt(std::max(0.0, 1.0 - x * x));
+        const double d_lo = std::sqrt(std::max(0.0, 1.0 - x_hi * x_hi));
+        const double d_hi = std::sqrt(std::max(0.0, 1.0 - x_lo * x_lo));
+
+        VerifyReport report;
+        report.method = info().name;
+        report.distanceEstimate = dist;
+        report.bound = std::max(d_hi - dist, dist - d_lo);
+        report.confidence = req.confidence;
+        report.shots = req.shots;
+        report.verdict = verdictFor(dist, report.bound, req);
+        report.wallSeconds = timer.seconds();
+        return report;
+    }
+};
+
+} // namespace
+
+void
+registerSamplingChecker(CheckerRegistry &r)
+{
+    r.add(std::make_unique<SamplingChecker>());
+}
+
+} // namespace verify
+} // namespace guoq

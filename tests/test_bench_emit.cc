@@ -302,6 +302,13 @@ TEST(BatchEmit, JsonGolden)
     ok.twoQubitAfter = 1;
     ok.errorBound = 0;
     ok.seconds = 0.5;
+    ok.verified = true;
+    ok.verifyMethod = "dense";
+    ok.verifyDistance = 1.5e-08;
+    ok.verifyBound = 0;
+    ok.verifyConfidence = 1;
+    ok.verifyShots = 0;
+    ok.verifyVerdict = "equivalent";
 
     bench::BatchFileEntry bad;
     bad.file = "sub/broken.qasm";
@@ -312,6 +319,21 @@ TEST(BatchEmit, JsonGolden)
     bad.col = 7;
     bad.message = "unknown gate 'frob\"nicate'";
     bad.seconds = 0;
+
+    bench::BatchFileEntry skip;
+    skip.file = "wide.qasm";
+    skip.status = "verify_skipped";
+    skip.dialect = "qasm2";
+    skip.algorithm = "guoq";
+    skip.output = "suite-opt/wide.qasm";
+    skip.qubits = 30;
+    skip.gatesBefore = 60;
+    skip.gatesAfter = 60;
+    skip.twoQubitBefore = 29;
+    skip.twoQubitAfter = 29;
+    skip.errorBound = 0;
+    skip.message = "verify skipped: 30 qubits exceed the sampling cap";
+    skip.seconds = 0.25;
 
     const std::string expected =
         "{\n"
@@ -327,9 +349,10 @@ TEST(BatchEmit, JsonGolden)
         "    \"threads\": 1,\n"
         "    \"jobs\": 2,\n"
         "    \"seed\": 7,\n"
-        "    \"files\": 2,\n"
+        "    \"files\": 3,\n"
         "    \"ok\": 1,\n"
-        "    \"failed\": 1\n"
+        "    \"failed\": 1,\n"
+        "    \"verify_skipped\": 1\n"
         "  },\n"
         "  \"files\": [\n"
         "    {\n"
@@ -344,6 +367,14 @@ TEST(BatchEmit, JsonGolden)
         "      \"twoq_before\": 2,\n"
         "      \"twoq_after\": 1,\n"
         "      \"error_bound\": 0,\n"
+        "      \"verify\": {\n"
+        "        \"method\": \"dense\",\n"
+        "        \"distance\": 1.5e-08,\n"
+        "        \"bound\": 0,\n"
+        "        \"confidence\": 1,\n"
+        "        \"shots\": 0,\n"
+        "        \"verdict\": \"equivalent\"\n"
+        "      },\n"
         "      \"seconds\": 0.5\n"
         "    },\n"
         "    {\n"
@@ -355,10 +386,26 @@ TEST(BatchEmit, JsonGolden)
         "      \"col\": 7,\n"
         "      \"message\": \"unknown gate 'frob\\\"nicate'\",\n"
         "      \"seconds\": 0\n"
+        "    },\n"
+        "    {\n"
+        "      \"file\": \"wide.qasm\",\n"
+        "      \"status\": \"verify_skipped\",\n"
+        "      \"dialect\": \"qasm2\",\n"
+        "      \"algorithm\": \"guoq\",\n"
+        "      \"output\": \"suite-opt/wide.qasm\",\n"
+        "      \"qubits\": 30,\n"
+        "      \"gates_before\": 60,\n"
+        "      \"gates_after\": 60,\n"
+        "      \"twoq_before\": 29,\n"
+        "      \"twoq_after\": 29,\n"
+        "      \"error_bound\": 0,\n"
+        "      \"message\": \"verify skipped: 30 qubits exceed the "
+        "sampling cap\",\n"
+        "      \"seconds\": 0.25\n"
         "    }\n"
         "  ]\n"
         "}\n";
-    EXPECT_EQ(bench::toBatchJson(meta, {ok, bad}), expected);
+    EXPECT_EQ(bench::toBatchJson(meta, {ok, bad, skip}), expected);
 }
 
 TEST(BatchEmit, EmptyRunStillParses)

@@ -50,9 +50,9 @@
 #include "ir/gate_set.h"
 #include "qasm/parser.h"
 #include "qasm/printer.h"
-#include "sim/unitary_sim.h"
 #include "support/logging.h"
 #include "support/table.h"
+#include "verify/checker.h"
 
 namespace {
 
@@ -113,9 +113,14 @@ usage(const char *argv0)
         "                   explicit --time the cap alone decides where\n"
         "                   the search stops, making runs reproducible\n"
         "                   (default: none, run until --time)\n"
-        "  --verify         recompute the Hilbert-Schmidt distance of\n"
-        "                   the result against the input (<= 10 qubits;\n"
-        "                   batch mode skips larger files with a note)\n"
+        "  --verify         check the result against the input: exact\n"
+        "                   HS distance up to 10 qubits, a sampled\n"
+        "                   estimate with a confidence bound above\n"
+        "  --verify-method M\n"
+        "                   auto | dense | sampling (default auto;\n"
+        "                   implies --verify)\n"
+        "  --verify-shots N shots for the sampling estimator\n"
+        "                   (default 1024; implies --verify)\n"
         "  --progress       stream best-cost improvements to stderr as\n"
         "                   they happen (single-file mode)\n"
         "  --quiet          suppress the stderr report\n"
@@ -224,12 +229,18 @@ struct CliOptions
     int jobs = 1;
     bool keepGoing = false;
     bool verify = false;
+    std::string verifyMethod = "auto";
+    long verifyShots = 1024;
     bool progress = false;
     bool quiet = false;
 
     /** The registry entry selected by --algorithm; resolved (and
      *  params validated) once in main(). */
     const core::Optimizer *optimizer = nullptr;
+
+    /** The verification backend selected by --verify-method; resolved
+     *  once in main() (nullptr when --verify is off). */
+    const verify::EquivalenceChecker *checker = nullptr;
 
     /** The circuit-independent request --algorithm/--param and the
      *  shared flags describe. */
@@ -245,6 +256,22 @@ struct CliOptions
         req.seed = cfg.base.seed;
         req.threads = cfg.threads;
         req.params = params;
+        return req;
+    }
+
+    /** The verification request the --verify* and shared flags
+     *  describe. The 1e-6 tolerance preserves the historical noise
+     *  floor of the exact check's over-budget comparison. */
+    verify::VerifyRequest
+    verifyRequest() const
+    {
+        verify::VerifyRequest req;
+        req.epsilon = cfg.base.epsilonTotal;
+        req.tolerance = 1e-6;
+        req.shots = verifyShots;
+        req.seed = cfg.base.seed;
+        req.threads = cfg.threads;
+        req.method = verifyMethod;
         return req;
     }
 };
@@ -340,18 +367,39 @@ processFile(const fs::path &in, const fs::path &root,
     e.twoQubitAfter = result.circuit.twoQubitGateCount();
     e.errorBound = result.errorBound;
 
-    if (opt.verify && input.numQubits() <= 10) {
-        const double d = sim::circuitDistance(input, result.circuit);
-        if (d > opt.cfg.base.epsilonTotal + 1e-6) {
-            e.status = "verify_failed";
-            e.message = support::strcat(
-                "verification failed: HS distance ", d,
-                " exceeds budget ", opt.cfg.base.epsilonTotal);
-            e.seconds = secondsSince(t0);
-            return e;
+    // Verification dispatches through the checker registry: `auto`
+    // covers every width the sampling backend can hold, so a skip is
+    // the exception (e.g. > 24 qubits) and is always recorded as a
+    // visible `verify_skipped` status, never a silent pass.
+    bool verify_skipped = false;
+    if (opt.verify) {
+        const verify::VerifyRequest vreq = opt.verifyRequest();
+        const std::string err =
+            opt.checker->checkRequest(input, result.circuit, vreq);
+        if (!err.empty()) {
+            verify_skipped = true;
+            e.message = "verify skipped: " + err;
+        } else {
+            const verify::VerifyReport vr =
+                opt.checker->run(input, result.circuit, vreq);
+            e.verified = true;
+            e.verifyMethod = vr.method;
+            e.verifyDistance = vr.distanceEstimate;
+            e.verifyBound = vr.bound;
+            e.verifyConfidence = vr.confidence;
+            e.verifyShots = vr.shots;
+            e.verifyVerdict = verify::verdictName(vr.verdict);
+            if (vr.verdict == verify::Verdict::Inequivalent) {
+                e.status = "verify_failed";
+                e.message = support::strcat(
+                    "verification failed: HS distance ",
+                    vr.distanceEstimate, " (", vr.method, ", bound ",
+                    vr.bound, ") exceeds budget ",
+                    opt.cfg.base.epsilonTotal);
+                e.seconds = secondsSince(t0);
+                return e;
+            }
         }
-    } else if (opt.verify) {
-        e.message = "verify skipped: more than 10 qubits";
     }
 
     const fs::path outPath = outRoot / rel;
@@ -371,7 +419,7 @@ processFile(const fs::path &in, const fs::path &root,
         e.seconds = secondsSince(t0);
         return e;
     }
-    e.status = "ok";
+    e.status = verify_skipped ? "verify_skipped" : "ok";
     e.output = outPath.generic_string();
     e.seconds = secondsSince(t0);
     return e;
@@ -474,32 +522,51 @@ runBatch(const CliOptions &opt)
 
     // Per-file status table (stderr keeps a batch's stdout clean for
     // the optional `--summary -` JSON stream).
-    std::size_t failed = 0;
+    std::size_t failed = 0, skipped = 0;
     if (!opt.quiet) {
         support::TextTable table({"file", "status", "qubits", "gates",
-                                  "2q", "seconds", "detail"});
+                                  "2q", "verify", "seconds", "detail"});
         for (const bench::BatchFileEntry &e : entries) {
             std::string detail = e.message;
             if (e.line > 0)
                 detail = support::strcat(e.line, ":", e.col, ": ",
                                          e.message);
+            const bool optimized =
+                e.status == "ok" || e.status == "verify_skipped";
+            std::string verify_cell;
+            if (e.verified)
+                verify_cell = support::strcat(
+                    e.verifyMethod, " ",
+                    support::fmt(e.verifyDistance, 3),
+                    e.verifyBound > 0
+                        ? support::strcat(
+                              " +/- ", support::fmt(e.verifyBound, 3))
+                        : "");
             table.addRow(
                 {e.file, e.status,
-                 e.status == "ok" ? std::to_string(e.qubits) : "",
-                 e.status == "ok"
-                     ? support::strcat(e.gatesBefore, " -> ",
-                                       e.gatesAfter)
-                     : "",
-                 e.status == "ok"
-                     ? support::strcat(e.twoQubitBefore, " -> ",
-                                       e.twoQubitAfter)
-                     : "",
-                 support::fmt(e.seconds, 2), detail});
+                 optimized ? std::to_string(e.qubits) : "",
+                 optimized ? support::strcat(e.gatesBefore, " -> ",
+                                             e.gatesAfter)
+                           : "",
+                 optimized ? support::strcat(e.twoQubitBefore, " -> ",
+                                             e.twoQubitAfter)
+                           : "",
+                 verify_cell, support::fmt(e.seconds, 2), detail});
         }
         std::fputs(table.render().c_str(), stderr);
     }
-    for (const bench::BatchFileEntry &e : entries)
-        failed += e.status == "ok" ? 0 : 1;
+    for (const bench::BatchFileEntry &e : entries) {
+        failed +=
+            e.status == "ok" || e.status == "verify_skipped" ? 0 : 1;
+        skipped += e.status == "verify_skipped" ? 1 : 0;
+    }
+    // A skipped check is survivable but must be loud: the result was
+    // written without its --verify guarantee.
+    if (skipped > 0)
+        std::fprintf(stderr,
+                     "guoq_cli: warning: verification skipped on %zu "
+                     "file(s); see the per-file messages\n",
+                     skipped);
 
     bench::BatchRunMeta meta;
     meta.inputDir = root.generic_string();
@@ -536,8 +603,10 @@ runBatch(const CliOptions &opt)
 
     if (!opt.quiet)
         std::fprintf(stderr,
-                     "guoq_cli: %zu/%zu file(s) ok, %zu failed\n",
-                     entries.size() - failed, entries.size(), failed);
+                     "guoq_cli: %zu/%zu file(s) ok, %zu failed, %zu "
+                     "verify-skipped\n",
+                     entries.size() - failed - skipped, entries.size(),
+                     failed, skipped);
     if (failed > 0 && !opt.keepGoing)
         return 1;
     return 0;
@@ -558,12 +627,18 @@ runSingle(const CliOptions &opt)
         return 1;
     }
     const ir::Circuit &input = pr.circuit;
-    // Fail fast, before the optimization run: verification builds the
-    // full 2^n x 2^n unitary, which is hopeless past ~10 qubits.
-    if (opt.verify && input.numQubits() > 10)
-        die("--verify builds the full 2^n unitary and supports at most "
-            "10 qubits; input has " +
-            std::to_string(input.numQubits()));
+    // Fail fast, before spending the optimization budget, when the
+    // selected verification backend cannot handle this input at all
+    // (e.g. --verify-method dense past the unitary cap, or any method
+    // past the sampling cap). Runtime failure, not a usage error: it
+    // depends on the input circuit, and unlike batch mode there is no
+    // other file to carry on with.
+    if (opt.verify) {
+        const std::string err = opt.checker->checkRequest(
+            input, input, opt.verifyRequest());
+        if (!err.empty())
+            fail("--verify: " + err);
+    }
     if (!opt.quiet)
         std::fprintf(stderr,
                      "guoq_cli: %zu gates (%zu two-qubit) on %d qubits "
@@ -593,7 +668,7 @@ runSingle(const CliOptions &opt)
                              "gates)\n",
                              ev.seconds, ev.cost, ev.gateCount);
         };
-    const core::OptimizeReport result = opt.optimizer->run(input, req);
+    core::OptimizeReport result = opt.optimizer->run(input, req);
 
     if (!opt.quiet) {
         std::fprintf(stderr,
@@ -617,11 +692,27 @@ runSingle(const CliOptions &opt)
     }
 
     if (opt.verify) {
-        const double d = sim::circuitDistance(input, result.circuit);
-        std::fprintf(stderr,
-                     "guoq_cli: verified HS distance %.3g (budget %g)\n",
-                     d, opt.cfg.base.epsilonTotal);
-        if (d > opt.cfg.base.epsilonTotal + 1e-6) {
+        const verify::VerifyRequest vreq = opt.verifyRequest();
+        result.verification =
+            opt.checker->run(input, result.circuit, vreq);
+        const verify::VerifyReport &vr = result.verification;
+        if (vr.shots > 0)
+            std::fprintf(stderr,
+                         "guoq_cli: verified (%s): HS distance %.3g "
+                         "+/- %.3g at %g%% confidence, %ld shots, "
+                         "%.2fs (budget %g): %s\n",
+                         vr.method.c_str(), vr.distanceEstimate,
+                         vr.bound, vr.confidence * 100, vr.shots,
+                         vr.wallSeconds, opt.cfg.base.epsilonTotal,
+                         verify::verdictName(vr.verdict));
+        else
+            std::fprintf(stderr,
+                         "guoq_cli: verified (%s): HS distance %.3g "
+                         "(budget %g): %s\n",
+                         vr.method.c_str(), vr.distanceEstimate,
+                         opt.cfg.base.epsilonTotal,
+                         verify::verdictName(vr.verdict));
+        if (vr.verdict == verify::Verdict::Inequivalent) {
             std::fprintf(stderr, "guoq_cli: verification FAILED: "
                                  "distance exceeds budget\n");
             return 1;
@@ -738,6 +829,18 @@ main(int argc, char **argv)
                 die("--iterations must be >= 1");
         } else if (arg == "--verify") {
             opt.verify = true;
+        } else if (arg == "--verify-method") {
+            opt.verifyMethod = value(i);
+            opt.verify = true;
+        } else if (arg == "--verify-shots") {
+            const long n = parseLong(arg, value(i));
+            // The cap bounds the estimator's O(shots) bookkeeping to
+            // ~24 MB; at 1e6 shots the Hoeffding half-width is
+            // already < 0.01 in overlap, far past any useful bound.
+            if (n < 1 || n > 1000000)
+                die("--verify-shots must be in [1, 1e6]");
+            opt.verifyShots = n;
+            opt.verify = true;
         } else if (arg == "--progress") {
             opt.progress = true;
         } else if (arg == "--quiet") {
@@ -780,6 +883,26 @@ main(int argc, char **argv)
         opt.optimizer->checkRequest(opt.request());
     if (!request_err.empty())
         die(request_err);
+
+    // Resolve --verify-method against the checker registry, with the
+    // same did-you-mean treatment as --algorithm.
+    if (opt.verify) {
+        const verify::CheckerRegistry &checkers =
+            verify::CheckerRegistry::global();
+        opt.checker = checkers.find(opt.verifyMethod);
+        if (!opt.checker) {
+            std::string msg = "unknown verification method '" +
+                              opt.verifyMethod + "'";
+            const std::string guess = core::closestName(
+                opt.verifyMethod, checkers.names());
+            if (!guess.empty())
+                msg += " (did you mean '" + guess + "'?)";
+            msg += "; methods:";
+            for (const std::string &name : checkers.names())
+                msg += " " + name;
+            die(msg);
+        }
+    }
 
     // An iteration cap without an explicit --time means "reproducible
     // run": lift the default 10 s budget so the cap — not machine
