@@ -134,7 +134,7 @@ runAsyncResynth(CaseContext &ctx)
                     "resynthesis (paper 5.3) ===\n\n");
     runSweep(ctx, {"sync", "async"}, [&](std::size_t i) {
         GuoqSpec spec = ablationSpec(ir::GateSetKind::Ibmq20);
-        spec.cfg.asyncResynthesis = i == 1;
+        spec.cfg.synthWorkers = i == 1 ? 1 : 0;
         return spec;
     });
     if (ctx.pretty())

@@ -104,7 +104,7 @@ main(int argc, char **argv)
             cfg.seed = static_cast<std::uint64_t>(
                 std::atoll(next().c_str()));
         else if (arg == "--async")
-            cfg.asyncResynthesis = true;
+            cfg.synthWorkers = 1;
         else if (arg == "--rewrite-only")
             cfg.selection = core::TransformSelection::RewriteOnly;
         else if (arg == "--resynth-only")

@@ -5,7 +5,7 @@
 #include "dag/subcircuit.h"
 #include "support/rng.h"
 #include "support/timer.h"
-#include "synth/resynth.h"
+#include "synth/service.h"
 
 namespace guoq {
 namespace baselines {
@@ -13,8 +13,11 @@ namespace baselines {
 PartitionResynthResult
 partitionResynth(const ir::Circuit &c, ir::GateSetKind set,
                  core::Objective objective, double epsilon_total,
-                 double time_budget_seconds, std::uint64_t seed)
+                 double time_budget_seconds, std::uint64_t seed,
+                 synth::SynthService *service)
 {
+    synth::SynthService *svc =
+        service != nullptr ? service : &synth::SynthService::global();
     const core::CostFunction cost(objective, set);
     support::Rng rng(seed);
     const support::Deadline deadline =
@@ -51,8 +54,11 @@ partitionResynth(const ir::Circuit &c, ir::GateSetKind set,
         opts.targetSet = set;
         opts.epsilon = eps_per_block;
         opts.deadline = deadline.slice(seconds_per_block);
-        const synth::ResynthResult r =
-            synth::resynthesize(sub, opts, rng);
+        const synth::SynthOutcome so = svc->resynthesize(sub, opts, rng);
+        result.cacheHits += so.cacheHit ? 1 : 0;
+        result.cacheMisses += so.cacheMiss ? 1 : 0;
+        result.cacheStores += so.cacheStore ? 1 : 0;
+        const synth::ResynthResult &r = so.result;
         if (!r.success)
             continue;
         if (cost(r.circuit) < cost(sub)) {

@@ -21,6 +21,11 @@
 #include "ir/gate_set.h"
 
 namespace guoq {
+
+namespace synth {
+class SynthService;
+} // namespace synth
+
 namespace baselines {
 
 /** Result of a partition+resynthesize run. */
@@ -30,19 +35,23 @@ struct PartitionResynthResult
     double errorSpent = 0;   //!< Σ measured block distances
     int blocks = 0;
     int blocksImproved = 0;
+    long cacheHits = 0;      //!< blocks served from the synthesis cache
+    long cacheMisses = 0;
+    long cacheStores = 0;
 };
 
 /**
- * Run the one-pass partition+resynthesize optimizer.
+ * Run the one-pass partition+resynthesize optimizer. Block synthesis
+ * routes through @p service (the process-wide synth::SynthService
+ * when null), so batch runs share its cache.
  * @param epsilon_total ε_f, divided equally across blocks.
  * @param time_budget_seconds wall clock, divided across blocks.
  */
-PartitionResynthResult partitionResynth(const ir::Circuit &c,
-                                        ir::GateSetKind set,
-                                        core::Objective objective,
-                                        double epsilon_total,
-                                        double time_budget_seconds,
-                                        std::uint64_t seed);
+PartitionResynthResult
+partitionResynth(const ir::Circuit &c, ir::GateSetKind set,
+                 core::Objective objective, double epsilon_total,
+                 double time_budget_seconds, std::uint64_t seed,
+                 synth::SynthService *service = nullptr);
 
 } // namespace baselines
 } // namespace guoq

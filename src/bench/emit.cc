@@ -151,7 +151,16 @@ toJson(const RunMeta &meta, const std::vector<CaseResult> &results)
                 out += ", ";
             out += jsonNumber(r.workerSeconds[w]);
         }
-        out += "]\n";
+        out += "],\n";
+        num("\"synth_cache_hits\"", std::to_string(r.synthCacheHits),
+            "      ");
+        out += ",\n";
+        num("\"synth_cache_misses\"",
+            std::to_string(r.synthCacheMisses), "      ");
+        out += ",\n";
+        num("\"synth_cache_stores\"",
+            std::to_string(r.synthCacheStores), "      ");
+        out += "\n";
         out += "    }";
     }
     out += results.empty() ? "]\n" : "\n  ]\n";
@@ -196,6 +205,10 @@ toBatchJson(const BatchRunMeta &meta,
     out += ",\n    \"threads\": " + std::to_string(meta.threads);
     out += ",\n    \"jobs\": " + std::to_string(meta.jobs);
     out += ",\n    \"seed\": " + u64(meta.seed);
+    out += ",\n    \"synth_workers\": " +
+           std::to_string(meta.synthWorkers);
+    out += ",\n    ";
+    str("\"synth_cache\"", meta.synthCacheDir);
     out += ",\n    \"files\": " + std::to_string(files.size());
     out += ",\n    \"ok\": " + std::to_string(ok);
     out += ",\n    \"failed\": " +
@@ -227,6 +240,14 @@ toBatchJson(const BatchRunMeta &meta,
                    std::to_string(f.twoQubitAfter);
             out += ",\n      \"error_bound\": " +
                    jsonNumber(f.errorBound);
+            out += ",\n      \"synth_cache_hits\": " +
+                   std::to_string(f.synthCacheHits);
+            out += ",\n      \"synth_cache_misses\": " +
+                   std::to_string(f.synthCacheMisses);
+            out += ",\n      \"synth_cache_stores\": " +
+                   std::to_string(f.synthCacheStores);
+            out += ",\n      \"pool_queue_peak\": " +
+                   std::to_string(f.poolQueuePeak);
             // Notes ride along (a verify_skipped entry always has
             // one explaining why the check could not run).
             if (!f.message.empty()) {
@@ -264,11 +285,12 @@ toBatchJson(const BatchRunMeta &meta,
 std::string
 toCsv(const std::vector<CaseResult> &results)
 {
-    // `algorithm` is appended as the LAST column: the schema policy
-    // (docs/FORMATS.md) promises additive evolution, and positional
-    // CSV consumers must keep reading the original columns unshifted.
+    // New columns are appended LAST: the schema policy (docs/FORMATS.md)
+    // promises additive evolution, and positional CSV consumers must
+    // keep reading the original columns unshifted.
     std::string out = "case,benchmark,tool,metric,value,seconds,trial,"
-                      "seed,workers,algorithm\n";
+                      "seed,workers,algorithm,synth_cache_hits,"
+                      "synth_cache_misses,synth_cache_stores\n";
     for (const CaseResult &r : results) {
         std::string workers;
         for (std::size_t w = 0; w < r.workerSeconds.size(); ++w) {
@@ -281,7 +303,10 @@ toCsv(const std::vector<CaseResult> &results)
             csvField(r.tool),      csvField(r.metric),
             csvNumber(r.value),    csvNumber(r.seconds),
             std::to_string(r.trial), u64(r.seed),
-            csvField(workers),     csvField(r.algorithm)};
+            csvField(workers),     csvField(r.algorithm),
+            std::to_string(r.synthCacheHits),
+            std::to_string(r.synthCacheMisses),
+            std::to_string(r.synthCacheStores)};
         for (std::size_t f = 0; f < std::size(fields); ++f) {
             if (f)
                 out += ',';

@@ -36,7 +36,8 @@ struct RunMeta
  *     "results": [
  *       {"case": ..., "benchmark": ..., "tool": ..., "algorithm": ...,
  *        "metric": ..., "value": ..., "seconds": ..., "trial": ...,
- *        "seed": ..., "workers": [...]}, ...
+ *        "seed": ..., "workers": [...], "synth_cache_hits": ...,
+ *        "synth_cache_misses": ..., "synth_cache_stores": ...}, ...
  *     ]
  *   }
  *
@@ -66,6 +67,14 @@ struct BatchFileEntry
     std::size_t twoQubitBefore = 0;
     std::size_t twoQubitAfter = 0;
     double errorBound = 0; //!< accumulated ε of the result
+    /** @name Synthesis-cache traffic of this file's run (ok-shaped
+     *  entries; see docs/FORMATS.md) */
+    /** @{ */
+    long synthCacheHits = 0;
+    long synthCacheMisses = 0;
+    long synthCacheStores = 0;
+    long poolQueuePeak = 0;
+    /** @} */
     double seconds = 0;    //!< wall time spent on this file
     int line = 0;          //!< error position (failures; 0 = n/a)
     int col = 0;
@@ -97,6 +106,8 @@ struct BatchRunMeta
     int threads = 1; //!< portfolio workers per file
     int jobs = 1;    //!< files optimized concurrently
     std::uint64_t seed = 0;
+    int synthWorkers = 0;      //!< async synthesis workers (0 = sync)
+    std::string synthCacheDir; //!< persistent cache dir ("" = off)
 };
 
 /**
@@ -113,6 +124,8 @@ struct BatchRunMeta
  *        "algorithm": ..., "output": ..., "qubits": ...,
  *        "gates_before": ..., "gates_after": ..., "twoq_before": ...,
  *        "twoq_after": ..., "error_bound": ...,
+ *        "synth_cache_hits": ..., "synth_cache_misses": ...,
+ *        "synth_cache_stores": ..., "pool_queue_peak": ...,
  *        "verify": {"method": ..., "distance": ..., "bound": ...,
  *                   "confidence": ..., "shots": ..., "verdict": ...},
  *        "seconds": ...},

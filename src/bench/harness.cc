@@ -56,6 +56,7 @@ runGuoqPortfolio(CaseContext &ctx, const GuoqSpec &spec,
     pcfg.threads = ctx.opts().threads;
     core::PortfolioResult r = core::optimizePortfolio(c, spec.set, pcfg);
     stashWorkers(ctx, pcfg.threads, r.workers);
+    ctx.stashSynthStats(r.stats);
     return r;
 }
 
@@ -88,6 +89,7 @@ registryTool(CaseContext &ctx, std::string display,
         req.threads = ctx.opts().threads;
         core::OptimizeReport report = opt->run(c, req);
         stashWorkers(ctx, req.threads, report.workers);
+        ctx.stashSynthStats(report.stats);
         return std::move(report.circuit);
     };
     return tool;
@@ -131,6 +133,10 @@ runComparison(CaseContext &ctx,
             row.trial = t;
             row.seed = seed;
             row.workerSeconds = ctx.takeWorkerSeconds();
+            const SynthCacheTally tally = ctx.takeSynthStats();
+            row.synthCacheHits = tally.hits;
+            row.synthCacheMisses = tally.misses;
+            row.synthCacheStores = tally.stores;
             ctx.record(std::move(row));
         }
         return sum / static_cast<double>(opts.trials);

@@ -74,6 +74,21 @@ struct CaseResult
     /** Per-worker wall seconds when the row came from a multi-thread
      *  portfolio run (empty otherwise). */
     std::vector<double> workerSeconds;
+    /** @name Synthesis-cache traffic of the producing run(s)
+     *  (all zero when the run did no service-routed resynthesis). */
+    /** @{ */
+    long synthCacheHits = 0;
+    long synthCacheMisses = 0;
+    long synthCacheStores = 0;
+    /** @} */
+};
+
+/** Synthesis-cache traffic ferried from runners to recorded rows. */
+struct SynthCacheTally
+{
+    long hits = 0;
+    long misses = 0;
+    long stores = 0;
 };
 
 /**
@@ -123,11 +138,30 @@ class CaseContext
         return out;
     }
 
+    /** Accumulate one run's synthesis-cache counters into the stash. */
+    void
+    stashSynthStats(const core::GuoqStats &stats)
+    {
+        synthTally_.hits += stats.synthCacheHits;
+        synthTally_.misses += stats.synthCacheMisses;
+        synthTally_.stores += stats.synthCacheStores;
+    }
+
+    /** Take (and clear) the stashed cache counters. */
+    SynthCacheTally
+    takeSynthStats()
+    {
+        const SynthCacheTally out = synthTally_;
+        synthTally_ = SynthCacheTally{};
+        return out;
+    }
+
   private:
     const RunOptions &opts_;
     std::string caseId_;
     std::vector<CaseResult> &sink_;
     std::vector<double> workerSeconds_;
+    SynthCacheTally synthTally_;
 };
 
 /** A registered case body. */

@@ -9,7 +9,9 @@ namespace core {
 TransformationSet::TransformationSet(ir::GateSetKind set,
                                      TransformSelection selection,
                                      double epsilon, double resynth_prob,
-                                     double per_call_seconds, int max_qubits)
+                                     double per_call_seconds, int max_qubits,
+                                     synth::SynthService *service,
+                                     synth::ResynthCounters *counters)
     : resynthProb_(resynth_prob)
 {
     if (selection != TransformSelection::ResynthOnly) {
@@ -21,7 +23,8 @@ TransformationSet::TransformationSet(ir::GateSetKind set,
     }
     if (selection != TransformSelection::RewriteOnly) {
         transforms_.push_back(Transformation::resynthesis(
-            set, epsilon, per_call_seconds, max_qubits));
+            set, epsilon, per_call_seconds, max_qubits, service,
+            counters));
         resynthCount_ = 1;
     }
     if (transforms_.empty())

@@ -38,10 +38,15 @@ class TransformationSet
      *                    (paper: 0.015).
      * @param per_call_seconds wall-clock cap per synthesis call.
      * @param max_qubits  subcircuit qubit cap (paper: 3).
+     * @param service     synthesis service the resynthesis τ_ε routes
+     *                    through (process-wide service when null).
+     * @param counters    optional per-run cache-traffic tally.
      */
     TransformationSet(ir::GateSetKind set, TransformSelection selection,
                       double epsilon, double resynth_prob,
-                      double per_call_seconds, int max_qubits);
+                      double per_call_seconds, int max_qubits,
+                      synth::SynthService *service = nullptr,
+                      synth::ResynthCounters *counters = nullptr);
 
     /** All transformations (fast first, then resynthesis). */
     const std::vector<Transformation> &all() const { return transforms_; }

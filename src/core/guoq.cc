@@ -2,26 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <future>
 #include <utility>
+#include <vector>
 
 #include "dag/subcircuit.h"
 #include "support/logging.h"
 #include "support/timer.h"
-#include "synth/resynth.h"
+#include "synth/service.h"
 
 namespace guoq {
 namespace core {
 
 namespace {
 
-/** State of the (single) in-flight asynchronous resynthesis call. */
-struct AsyncResynth
+/** One in-flight asynchronous resynthesis call. */
+struct PendingResynth
 {
-    std::future<synth::ResynthResult> future;
+    std::future<synth::SynthOutcome> future;
     ir::Circuit snapshot;            //!< circuit at launch time
     dag::SubcircuitSelection selection;
-    bool active = false;
 };
 
 /** Effective per-call resynthesis ε (see GuoqConfig). */
@@ -55,9 +56,13 @@ optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
     if (!allow_resynth && selection == TransformSelection::ResynthOnly)
         support::fatal("guoq: resynth-only selection requires ε_f > 0");
 
+    synth::SynthService *svc = cfg.synthService != nullptr
+                                   ? cfg.synthService
+                                   : &synth::SynthService::global();
+    synth::ResynthCounters counters;
     const TransformationSet transforms(
         set, selection, perCallEpsilon(cfg), cfg.resynthProbability,
-        cfg.resynthCallSeconds, cfg.maxSubcircuitQubits);
+        cfg.resynthCallSeconds, cfg.maxSubcircuitQubits, svc, &counters);
 
     GuoqResult result;
     result.best = c;
@@ -83,7 +88,7 @@ optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
     };
     record(true);
 
-    AsyncResynth async;
+    std::vector<PendingResynth> pending;
 
     // Accept/reject a candidate per Alg. 1 lines 10-18.
     auto consider = [&](ir::Circuit &&candidate, double eps_spent,
@@ -127,23 +132,33 @@ optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
         }
     };
 
-    // Harvest a finished asynchronous resynthesis call, if any.
+    // Harvest finished asynchronous resynthesis calls, in launch order.
     auto harvestAsync = [&](bool wait) {
-        if (!async.active)
-            return;
-        if (!wait && async.future.wait_for(std::chrono::seconds(0)) !=
-                         std::future_status::ready)
-            return;
-        const synth::ResynthResult r = async.future.get();
-        async.active = false;
-        if (!r.success)
-            return;
-        if (error_curr + r.distance > cfg.epsilonTotal)
-            return; // budget moved on while the call was in flight
-        // Accepted resynthesis discards interim rewrites (§5.3): the
-        // candidate is the launch-time snapshot with the new block.
-        consider(dag::splice(async.snapshot, async.selection, r.circuit),
-                 r.distance, /*from_resynth=*/true);
+        for (std::size_t i = 0; i < pending.size();) {
+            PendingResynth &p = pending[i];
+            if (!wait &&
+                p.future.wait_for(std::chrono::seconds(0)) !=
+                    std::future_status::ready) {
+                ++i;
+                continue;
+            }
+            const synth::SynthOutcome so = p.future.get();
+            counters.add(so);
+            const synth::ResynthResult &r = so.result;
+            const ir::Circuit snapshot = std::move(p.snapshot);
+            const dag::SubcircuitSelection sel = std::move(p.selection);
+            pending.erase(pending.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            if (!r.success)
+                continue;
+            if (error_curr + r.distance > cfg.epsilonTotal)
+                continue; // budget moved on while the call was in flight
+            // Accepted resynthesis discards interim rewrites (§5.3):
+            // the candidate is the launch-time snapshot with the new
+            // block.
+            consider(dag::splice(snapshot, sel, r.circuit), r.distance,
+                     /*from_resynth=*/true);
+        }
     };
 
     while (!deadline.expired() && !cfg.hooks.cancelled() &&
@@ -164,18 +179,19 @@ optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
 
         if (tau.kind() == TransformKind::Resynthesis) {
             ++result.stats.resynthCalls;
-            if (cfg.asyncResynthesis) {
-                if (async.active)
-                    continue; // one outstanding call at a time
+            if (cfg.synthWorkers > 0) {
+                if (pending.size() >=
+                    static_cast<std::size_t>(cfg.synthWorkers))
+                    continue; // all async slots busy
                 if (curr.empty())
                     continue;
-                async.selection = dag::randomConvex(
+                PendingResynth p;
+                p.selection = dag::randomConvex(
                     curr, rng, cfg.maxSubcircuitQubits, 32, 6);
-                if (async.selection.size() < 2)
+                if (p.selection.size() < 2)
                     continue;
-                async.snapshot = curr;
-                const ir::Circuit sub =
-                    dag::extract(async.snapshot, async.selection);
+                p.snapshot = curr;
+                ir::Circuit sub = dag::extract(p.snapshot, p.selection);
                 synth::ResynthOptions opts;
                 opts.targetSet = set;
                 opts.epsilon = perCallEpsilon(cfg);
@@ -184,12 +200,11 @@ optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
                     std::min(cfg.resynthCallSeconds,
                              deadline.remaining()));
                 support::Rng child = rng.fork();
-                async.future = std::async(
-                    std::launch::async,
-                    [sub, opts, child]() mutable {
-                        return synth::resynthesize(sub, opts, child);
-                    });
-                async.active = true;
+                auto fut = svc->submit(std::move(sub), opts, child);
+                if (!fut)
+                    continue; // shared pool queue full: drop the call
+                p.future = std::move(*fut);
+                pending.push_back(std::move(p));
                 continue;
             }
         }
@@ -213,6 +228,10 @@ optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
     harvestAsync(/*wait=*/true);
 
     result.errorBound = error_best;
+    result.stats.synthCacheHits = counters.hits;
+    result.stats.synthCacheMisses = counters.misses;
+    result.stats.synthCacheStores = counters.stores;
+    result.stats.poolQueuePeak = svc->poolQueuePeak();
     result.stats.seconds = timer.seconds();
     record(true);
     return result;

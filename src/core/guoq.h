@@ -18,6 +18,11 @@
 #include "ir/gate_set.h"
 
 namespace guoq {
+
+namespace synth {
+class SynthService;
+} // namespace synth
+
 namespace core {
 
 /** Configuration for one optimization run. */
@@ -63,11 +68,22 @@ struct GuoqConfig
     TransformSelection selection = TransformSelection::Combined;
 
     /**
-     * Apply resynthesis asynchronously (paper §5.3): rewriting
-     * continues while a synthesis call is in flight; interim rewrites
-     * are discarded when the resynthesis result is accepted.
+     * Asynchronous resynthesis workers (paper §5.3): with N > 0,
+     * rewriting continues while up to N synthesis calls are in
+     * flight; interim rewrites are discarded when a resynthesis
+     * result is accepted. 0 keeps resynthesis synchronous (the
+     * legacy `asyncResynthesis = false`; 1 matches `= true`).
      */
-    bool asyncResynthesis = false;
+    int synthWorkers = 0;
+
+    /**
+     * Synthesis service (cache + shared pool) every resynthesis call
+     * routes through; null selects synth::SynthService::global().
+     * With the service's cache disabled the run is bit-for-bit the
+     * legacy optimize(); with it enabled the run stays deterministic
+     * for a fixed seed, cold or warm.
+     */
+    synth::SynthService *synthService = nullptr;
 
     /** Record a best-cost-over-time trace (Fig. 7 style). */
     bool recordTrace = false;
@@ -94,6 +110,10 @@ struct GuoqStats
     long resynthCalls = 0;
     long resynthAccepted = 0;
     long rewriteApplications = 0;
+    long synthCacheHits = 0;   //!< resynthesis served from the cache
+    long synthCacheMisses = 0; //!< cache probes that ran a search
+    long synthCacheStores = 0; //!< fresh results inserted
+    long poolQueuePeak = 0;    //!< synthesis-pool queue high-water mark
     double seconds = 0;
 };
 

@@ -4,7 +4,9 @@
 #include <cerrno>
 #include <climits>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <utility>
 
 #include "support/logging.h"
@@ -289,8 +291,10 @@ class GuoqFamilyOptimizer : public Optimizer
              "wall-clock cap per synthesis call", "1"},
             {"resynth-call-epsilon", K::Double,
              "nominal eps per resynthesis call (<=0: auto)", "-1"},
+            {"synth-workers", K::Int,
+             "async resynthesis workers (0 = synchronous)", "0"},
             {"async-resynth", K::Bool,
-             "overlap resynthesis calls with rewriting", "false"},
+             "deprecated alias for synth-workers=1", "false"},
             {"trace", K::Bool, "record a best-cost-over-time trace",
              "false"},
             {"sync-interval", K::Double,
@@ -315,6 +319,10 @@ class GuoqFamilyOptimizer : public Optimizer
                 "algorithm '", info_.name,
                 "' requires an approximation budget (epsilon > 0): "
                 "resynthesis-only optimization has no exact moves");
+        if (err.empty() &&
+            paramLong(req.params, "synth-workers", 0) < 0)
+            err = support::strcat("parameter 'synth-workers' of '",
+                                  info_.name, "' must be >= 0");
         return err;
     }
 
@@ -342,8 +350,20 @@ class GuoqFamilyOptimizer : public Optimizer
         cfg.base.resynthCallEpsilon =
             paramDouble(req.params, "resynth-call-epsilon",
                         cfg.base.resynthCallEpsilon);
-        cfg.base.asyncResynthesis = paramBool(
-            req.params, "async-resynth", cfg.base.asyncResynthesis);
+        cfg.base.synthWorkers = static_cast<int>(paramLong(
+            req.params, "synth-workers", cfg.base.synthWorkers));
+        if (req.params.count("async-resynth") != 0) {
+            static std::once_flag warned;
+            std::call_once(warned, [] {
+                std::fprintf(stderr,
+                             "guoq: warning: parameter 'async-resynth' "
+                             "is deprecated; use 'synth-workers' "
+                             "(N workers, 0 = synchronous)\n");
+            });
+            if (paramBool(req.params, "async-resynth", false) &&
+                cfg.base.synthWorkers == 0)
+                cfg.base.synthWorkers = 1;
+        }
         cfg.base.recordTrace =
             paramBool(req.params, "trace", cfg.base.recordTrace);
         cfg.threads = req.threads;

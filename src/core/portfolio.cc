@@ -140,6 +140,10 @@ mergeStats(GuoqStats &into, const GuoqStats &from)
     into.resynthCalls += from.resynthCalls;
     into.resynthAccepted += from.resynthAccepted;
     into.rewriteApplications += from.rewriteApplications;
+    into.synthCacheHits += from.synthCacheHits;
+    into.synthCacheMisses += from.synthCacheMisses;
+    into.synthCacheStores += from.synthCacheStores;
+    into.poolQueuePeak = std::max(into.poolQueuePeak, from.poolQueuePeak);
     into.seconds += from.seconds;
 }
 

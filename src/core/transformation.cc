@@ -3,7 +3,7 @@
 #include "dag/subcircuit.h"
 #include "rewrite/applier.h"
 #include "support/logging.h"
-#include "synth/resynth.h"
+#include "synth/service.h"
 #include "transpile/to_gate_set.h"
 
 namespace guoq {
@@ -46,7 +46,9 @@ Transformation::fusion(ir::GateSetKind set)
 
 Transformation
 Transformation::resynthesis(ir::GateSetKind set, double epsilon,
-                            double per_call_seconds, int max_qubits)
+                            double per_call_seconds, int max_qubits,
+                            synth::SynthService *service,
+                            synth::ResynthCounters *counters)
 {
     Transformation t;
     t.name_ = "resynth:" + ir::gateSetName(set);
@@ -55,6 +57,8 @@ Transformation::resynthesis(ir::GateSetKind set, double epsilon,
     t.set_ = set;
     t.perCallSeconds_ = per_call_seconds;
     t.maxQubits_ = max_qubits;
+    t.service_ = service;
+    t.counters_ = counters;
     return t;
 }
 
@@ -89,8 +93,12 @@ Transformation::apply(const ir::Circuit &c, support::Rng &rng) const
         opts.epsilon = epsilon_;
         opts.maxQubits = maxQubits_;
         opts.deadline = support::Deadline::in(perCallSeconds_);
-        const synth::ResynthResult r =
-            synth::resynthesize(sub, opts, rng);
+        synth::SynthService *svc =
+            service_ != nullptr ? service_ : &synth::SynthService::global();
+        const synth::SynthOutcome so = svc->resynthesize(sub, opts, rng);
+        if (counters_ != nullptr)
+            counters_->add(so);
+        const synth::ResynthResult &r = so.result;
         if (!r.success || r.circuit.gates() == sub.gates())
             return std::nullopt; // failed or unchanged: free no-op
         TransformOutcome out{dag::splice(c, sel, r.circuit), r.distance};

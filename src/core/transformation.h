@@ -22,6 +22,12 @@
 #include "support/timer.h"
 
 namespace guoq {
+
+namespace synth {
+class SynthService;
+struct ResynthCounters;
+} // namespace synth
+
 namespace core {
 
 /** What a transformation is built from (for stats and weighting). */
@@ -59,12 +65,16 @@ class Transformation
     /**
      * A resynthesis transformation: grow a random convex subcircuit of
      * at most @p max_qubits qubits, synthesize it within @p epsilon,
-     * splice the result back (paper §5.3).
+     * splice the result back (paper §5.3). Synthesis is routed
+     * through @p service (the process-wide synth::SynthService when
+     * null), and cache traffic is tallied into @p counters when set.
      * @param per_call_seconds wall-clock cap for one synthesis call.
      */
-    static Transformation resynthesis(ir::GateSetKind set, double epsilon,
-                                      double per_call_seconds,
-                                      int max_qubits);
+    static Transformation
+    resynthesis(ir::GateSetKind set, double epsilon,
+                double per_call_seconds, int max_qubits,
+                synth::SynthService *service = nullptr,
+                synth::ResynthCounters *counters = nullptr);
 
     const std::string &name() const { return name_; }
     TransformKind kind() const { return kind_; }
@@ -92,6 +102,8 @@ class Transformation
     ir::GateSetKind set_ = ir::GateSetKind::Nam;
     double perCallSeconds_ = 1.0;
     int maxQubits_ = 3;
+    synth::SynthService *service_ = nullptr;
+    synth::ResynthCounters *counters_ = nullptr;
 };
 
 } // namespace core

@@ -1,0 +1,326 @@
+/** @file Content-addressed synthesis cache implementation. */
+
+#include "synth/cache.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "ir/gate_kind.h"
+#include "ir/gate_set.h"
+#include "support/logging.h"
+
+namespace guoq {
+namespace synth {
+
+namespace {
+
+// Quantization grid for the canonical hash: fine enough that two
+// numerically distinct unitaries almost never land on the same grid
+// point, coarse enough to absorb the ~1e-15 noise between different
+// gate decompositions of the same operator.
+constexpr double kQuantScale = static_cast<double>(1 << 26);
+
+// Magnitude below which an element cannot anchor the global phase.
+constexpr double kAnchorFloor = 1e-6;
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+bool
+parseGateSet(const std::string &name, ir::GateSetKind *out)
+{
+    for (const ir::GateSetKind set : ir::allGateSets()) {
+        if (ir::gateSetName(set) == name) {
+            *out = set;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+int
+epsilonTier(double epsilon)
+{
+    if (epsilon <= 0)
+        return -10000; // exact-synthesis sentinel tier
+    return static_cast<int>(
+        std::floor(4.0 * std::log10(epsilon) + 1e-12));
+}
+
+std::uint64_t
+canonicalUnitaryHash(const linalg::ComplexMatrix &u)
+{
+    const std::size_t n = u.rows() * u.cols();
+    const linalg::Complex *a = u.data();
+    // Rotate the global phase so the first significant element is
+    // real positive: phase-equal matrices then agree elementwise.
+    linalg::Complex phase(1.0, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (std::abs(a[i]) > kAnchorFloor) {
+            phase = std::conj(a[i]) / std::abs(a[i]);
+            break;
+        }
+    }
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = fnv1a(h, static_cast<std::uint64_t>(u.rows()));
+    for (std::size_t i = 0; i < n; ++i) {
+        const linalg::Complex v = a[i] * phase;
+        const auto re =
+            static_cast<std::int64_t>(std::llround(v.real() * kQuantScale));
+        const auto im =
+            static_cast<std::int64_t>(std::llround(v.imag() * kQuantScale));
+        h = fnv1a(h, static_cast<std::uint64_t>(re));
+        h = fnv1a(h, static_cast<std::uint64_t>(im));
+    }
+    return h;
+}
+
+CacheKey
+makeCacheKey(const linalg::ComplexMatrix &u, int num_qubits,
+             const ResynthOptions &opts)
+{
+    CacheKey k;
+    k.unitaryHash = canonicalUnitaryHash(u);
+    k.set = static_cast<int>(opts.targetSet);
+    k.epsTier = epsilonTier(opts.epsilon);
+    k.numQubits = num_qubits;
+    k.maxQubits = opts.maxQubits;
+    k.maxEntanglers = opts.maxEntanglers;
+    k.finiteMaxGates = opts.finiteMaxGates;
+    return k;
+}
+
+std::size_t
+CacheKeyHash::operator()(const CacheKey &k) const
+{
+    std::uint64_t h = k.unitaryHash;
+    h = fnv1a(h, static_cast<std::uint64_t>(k.set));
+    h = fnv1a(h, static_cast<std::uint64_t>(
+                     static_cast<std::int64_t>(k.epsTier)));
+    h = fnv1a(h, static_cast<std::uint64_t>(k.numQubits));
+    h = fnv1a(h, static_cast<std::uint64_t>(k.maxQubits));
+    h = fnv1a(h, static_cast<std::uint64_t>(k.maxEntanglers));
+    h = fnv1a(h, static_cast<std::uint64_t>(k.finiteMaxGates));
+    return static_cast<std::size_t>(h);
+}
+
+SynthCache::SynthCache(std::size_t shard_count)
+    : shards_(new Shard[shard_count == 0 ? 1 : shard_count]),
+      shardCount_(shard_count == 0 ? 1 : shard_count)
+{
+}
+
+SynthCache::Shard &
+SynthCache::shardFor(const CacheKey &key) const
+{
+    return shards_[CacheKeyHash()(key) % shardCount_];
+}
+
+bool
+SynthCache::lookup(const CacheKey &key, CacheEntry *out) const
+{
+    Shard &s = shardFor(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.map.find(key);
+    if (it == s.map.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+bool
+SynthCache::store(const CacheKey &key, CacheEntry entry)
+{
+    Shard &s = shardFor(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.map.emplace(key, std::move(entry)).second;
+}
+
+std::size_t
+SynthCache::size() const
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < shardCount_; ++i) {
+        std::lock_guard<std::mutex> lock(shards_[i].mutex);
+        n += shards_[i].map.size();
+    }
+    return n;
+}
+
+void
+SynthCache::clear()
+{
+    for (std::size_t i = 0; i < shardCount_; ++i) {
+        std::lock_guard<std::mutex> lock(shards_[i].mutex);
+        shards_[i].map.clear();
+    }
+}
+
+namespace {
+
+// One persisted record: an "entry" header line followed by one "gate"
+// line per gate. Returns false at the first malformed field so the
+// loader keeps whatever parsed cleanly before the damage.
+bool
+parseEntry(const std::string &header, std::istream &in, CacheKey *key,
+           CacheEntry *entry)
+{
+    std::istringstream hs(header);
+    std::string tag, set_name;
+    int success = 0;
+    long gate_count = 0;
+    hs >> tag >> key->unitaryHash >> set_name >> key->epsTier >>
+        key->numQubits >> key->maxQubits >> key->maxEntanglers >>
+        key->finiteMaxGates >> success >> entry->distance >> gate_count;
+    if (!hs || tag != "entry")
+        return false;
+    ir::GateSetKind set;
+    if (!parseGateSet(set_name, &set))
+        return false;
+    key->set = static_cast<int>(set);
+    if (key->numQubits < 1 || key->numQubits > 12)
+        return false;
+    if (gate_count < 0 || gate_count > 100000)
+        return false;
+    if (!std::isfinite(entry->distance) || entry->distance < 0)
+        return false;
+    entry->success = success != 0;
+    entry->circuit = ir::Circuit(key->numQubits);
+    for (long g = 0; g < gate_count; ++g) {
+        std::string line;
+        if (!std::getline(in, line))
+            return false; // truncated mid-entry
+        std::istringstream gs(line);
+        std::string gtag, gname;
+        gs >> gtag >> gname;
+        ir::GateKind kind;
+        if (!gs || gtag != "gate" || !ir::gateKindFromName(gname, &kind))
+            return false;
+        std::vector<int> qubits(
+            static_cast<std::size_t>(ir::gateArity(kind)));
+        std::vector<double> params(
+            static_cast<std::size_t>(ir::gateParamCount(kind)));
+        for (int &q : qubits)
+            gs >> q;
+        for (double &p : params)
+            gs >> p;
+        if (!gs)
+            return false;
+        // Circuit::add panics on bad indices; a corrupted file must
+        // degrade to a partial load instead.
+        bool valid = true;
+        for (std::size_t i = 0; i < qubits.size() && valid; ++i) {
+            if (qubits[i] < 0 || qubits[i] >= key->numQubits)
+                valid = false;
+            for (std::size_t j = i + 1; j < qubits.size() && valid; ++j)
+                if (qubits[j] == qubits[i])
+                    valid = false;
+        }
+        for (const double p : params)
+            if (!std::isfinite(p))
+                valid = false;
+        if (!valid)
+            return false;
+        entry->circuit.add(kind, std::move(qubits), std::move(params));
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+SynthCache::load(const std::string &path, std::string *err)
+{
+    std::ifstream in(path);
+    if (!in)
+        return true; // no persistent tier yet: nothing to merge
+    std::string line;
+    if (!std::getline(in, line) || line != kFileMagic) {
+        if (err != nullptr)
+            *err = support::strcat("unsupported cache format in ", path,
+                                   " (want ", kFileMagic, ")");
+        return false;
+    }
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        CacheKey key;
+        CacheEntry entry;
+        if (!parseEntry(line, in, &key, &entry)) {
+            if (err != nullptr)
+                *err = support::strcat("corrupted record in ", path,
+                                       "; kept entries parsed so far");
+            return true; // tolerant: keep the clean prefix
+        }
+        store(key, std::move(entry));
+    }
+    return true;
+}
+
+bool
+SynthCache::save(const std::string &path, std::string *err) const
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            if (err != nullptr)
+                *err = support::strcat("cannot write ", tmp);
+            return false;
+        }
+        out << kFileMagic << "\n";
+        char buf[64];
+        for (std::size_t i = 0; i < shardCount_; ++i) {
+            std::lock_guard<std::mutex> lock(shards_[i].mutex);
+            for (const auto &[key, entry] : shards_[i].map) {
+                const auto set = static_cast<ir::GateSetKind>(key.set);
+                // %.17g round-trips doubles exactly: warm runs must
+                // replay the cold run's angles bit for bit.
+                std::snprintf(buf, sizeof buf, "%.17g", entry.distance);
+                out << "entry " << key.unitaryHash << ' '
+                    << ir::gateSetName(set) << ' ' << key.epsTier << ' '
+                    << key.numQubits << ' ' << key.maxQubits << ' '
+                    << key.maxEntanglers << ' ' << key.finiteMaxGates
+                    << ' ' << (entry.success ? 1 : 0) << ' ' << buf
+                    << ' ' << entry.circuit.gates().size() << "\n";
+                for (const ir::Gate &g : entry.circuit.gates()) {
+                    out << "gate " << ir::gateName(g.kind);
+                    for (const int q : g.qubits)
+                        out << ' ' << q;
+                    for (const double p : g.params) {
+                        std::snprintf(buf, sizeof buf, "%.17g", p);
+                        out << ' ' << buf;
+                    }
+                    out << "\n";
+                }
+            }
+        }
+        if (!out) {
+            if (err != nullptr)
+                *err = support::strcat("write failed for ", tmp);
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (err != nullptr)
+            *err = support::strcat("rename failed for ", path);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace synth
+} // namespace guoq

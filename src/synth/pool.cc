@@ -1,0 +1,70 @@
+/** @file Bounded-queue synthesis worker pool. */
+
+#include "synth/pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace guoq {
+namespace synth {
+
+Pool::Pool(int workers, std::size_t queue_capacity)
+    : capacity_(std::max<std::size_t>(queue_capacity, 1))
+{
+    const int n = std::max(workers, 1);
+    threads_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+Pool::~Pool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+bool
+Pool::trySubmit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_ || queue_.size() >= capacity_)
+            return false;
+        queue_.push_back(std::move(task));
+        peak_ = std::max(peak_, queue_.size());
+    }
+    cv_.notify_one();
+    return true;
+}
+
+std::size_t
+Pool::queuePeak() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+}
+
+void
+Pool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace synth
+} // namespace guoq

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The synthesis service: the single seam every resynthesis request
+ * flows through. It composes the content-addressed cache (cache.h)
+ * with the shared worker pool (pool.h) in front of the raw
+ * resynthesize() front end, and is shared across portfolio workers.
+ *
+ * Determinism contract:
+ *  - cache disabled: the caller's RNG is passed straight through, so
+ *    the legacy core::optimize() stream is bit-for-bit unchanged;
+ *  - cache enabled: the service consumes exactly one fork() from the
+ *    caller's RNG per request — hit or miss — so a warm run replays
+ *    the cold run's parent stream exactly;
+ *  - a hit re-validates the stored circuit's HS distance against the
+ *    request's ε before use, so it can never loosen the error bound.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ir/circuit.h"
+#include "support/rng.h"
+#include "synth/cache.h"
+#include "synth/pool.h"
+#include "synth/resynth.h"
+
+namespace guoq {
+namespace synth {
+
+/** One service-mediated resynthesis outcome, with cache attribution. */
+struct SynthOutcome
+{
+    ResynthResult result;
+    bool cacheHit = false;
+    bool cacheMiss = false;
+    bool cacheStore = false;
+};
+
+/** Per-run cache-traffic tally, accumulated by the consumers. */
+struct ResynthCounters
+{
+    long hits = 0;
+    long misses = 0;
+    long stores = 0;
+
+    void add(const SynthOutcome &o)
+    {
+        hits += o.cacheHit ? 1 : 0;
+        misses += o.cacheMiss ? 1 : 0;
+        stores += o.cacheStore ? 1 : 0;
+    }
+};
+
+/** Cache + pool front end for resynthesize(). */
+class SynthService
+{
+  public:
+    SynthService() = default;
+
+    void enableCache(bool on) { cacheEnabled_.store(on); }
+    bool cacheEnabled() const { return cacheEnabled_.load(); }
+    SynthCache &cache() { return cache_; }
+
+    /**
+     * (Re)size the worker pool; 0 tears it down, restoring the legacy
+     * one-detached-thread-per-request behavior for async submits. Not
+     * safe to call while optimizer runs are in flight.
+     */
+    void configurePool(int workers, std::size_t queue_capacity = 64);
+    int poolWorkers() const { return pool_ ? pool_->workers() : 0; }
+    long poolQueuePeak() const
+    {
+        return pool_ ? static_cast<long>(pool_->queuePeak()) : 0;
+    }
+
+    /** Synchronous cache-aware resynthesis (see contract above). */
+    SynthOutcome resynthesize(const ir::Circuit &sub,
+                              const ResynthOptions &opts,
+                              support::Rng &rng);
+
+    /**
+     * Asynchronous resynthesis on the pool (or a detached std::async
+     * when no pool is configured). @p rng must already be forked from
+     * the caller's stream. Returns nullopt when the bounded queue is
+     * full — the request is dropped, not queued.
+     */
+    std::optional<std::future<SynthOutcome>>
+    submit(ir::Circuit sub, ResynthOptions opts, support::Rng rng);
+
+    /** Enable the cache and merge `<dir>`'s persistent tier into it. */
+    bool loadCacheDir(const std::string &dir, std::string *err = nullptr);
+
+    /** Persist the cache to `<dir>` (atomic rewrite). */
+    bool saveCacheDir(const std::string &dir,
+                      std::string *err = nullptr) const;
+
+    static std::string cacheFilePath(const std::string &dir);
+
+    /** The process-wide instance consumers default to. */
+    static SynthService &global();
+
+  private:
+    std::atomic<bool> cacheEnabled_{false};
+    SynthCache cache_;
+    std::unique_ptr<Pool> pool_;
+};
+
+} // namespace synth
+} // namespace guoq

@@ -157,7 +157,10 @@ TEST(BenchEmit, JsonGolden)
                                  "      \"seconds\": 0.5,\n"
                                  "      \"trial\": 0,\n"
                                  "      \"seed\": 7,\n"
-                                 "      \"workers\": [0.25, 0.5]\n"
+                                 "      \"workers\": [0.25, 0.5],\n"
+                                 "      \"synth_cache_hits\": 0,\n"
+                                 "      \"synth_cache_misses\": 0,\n"
+                                 "      \"synth_cache_stores\": 0\n"
                                  "    },\n"
                                  "    {\n"
                                  "      \"case\": \"fig1\",\n"
@@ -169,7 +172,10 @@ TEST(BenchEmit, JsonGolden)
                                  "      \"seconds\": 0,\n"
                                  "      \"trial\": 1,\n"
                                  "      \"seed\": 8,\n"
-                                 "      \"workers\": []\n"
+                                 "      \"workers\": [],\n"
+                                 "      \"synth_cache_hits\": 0,\n"
+                                 "      \"synth_cache_misses\": 0,\n"
+                                 "      \"synth_cache_stores\": 0\n"
                                  "    }\n"
                                  "  ]\n"
                                  "}\n";
@@ -204,13 +210,15 @@ TEST(BenchEmit, JsonEmptyResultsAndNonFiniteValues)
 
 TEST(BenchEmit, CsvGolden)
 {
-    // `algorithm` rides at the end so the original columns keep their
-    // positions for pre-existing CSV consumers.
+    // `algorithm` and the synth-cache counters ride at the end so the
+    // original columns keep their positions for pre-existing CSV
+    // consumers.
     const std::string expected =
         "case,benchmark,tool,metric,value,seconds,trial,seed,workers,"
-        "algorithm\n"
-        "fig1,qft_6,guoq,2q_reduction,0.25,0.5,0,7,0.25;0.5,guoq\n"
-        "fig1,\"a\"\"b,c\nd\",t\\v,m,-1.5,0,1,8,,\n";
+        "algorithm,synth_cache_hits,synth_cache_misses,"
+        "synth_cache_stores\n"
+        "fig1,qft_6,guoq,2q_reduction,0.25,0.5,0,7,0.25;0.5,guoq,0,0,0\n"
+        "fig1,\"a\"\"b,c\nd\",t\\v,m,-1.5,0,1,8,,,0,0,0\n";
     EXPECT_EQ(bench::toCsv(goldenResults()), expected);
 }
 
@@ -255,7 +263,7 @@ TEST(BenchEmit, CsvRoundTripsThroughRfc4180Parser)
     const auto records = parseCsv(bench::toCsv(goldenResults()));
     ASSERT_EQ(records.size(), 3u); // header + 2 rows
     for (const auto &record : records)
-        EXPECT_EQ(record.size(), 10u);
+        EXPECT_EQ(record.size(), 13u);
     EXPECT_EQ(records[0][0], "case");
     EXPECT_EQ(records[1][1], "qft_6");
     EXPECT_EQ(records[1][8], "0.25;0.5");
@@ -349,6 +357,8 @@ TEST(BatchEmit, JsonGolden)
         "    \"threads\": 1,\n"
         "    \"jobs\": 2,\n"
         "    \"seed\": 7,\n"
+        "    \"synth_workers\": 0,\n"
+        "    \"synth_cache\": \"\",\n"
         "    \"files\": 3,\n"
         "    \"ok\": 1,\n"
         "    \"failed\": 1,\n"
@@ -367,6 +377,10 @@ TEST(BatchEmit, JsonGolden)
         "      \"twoq_before\": 2,\n"
         "      \"twoq_after\": 1,\n"
         "      \"error_bound\": 0,\n"
+        "      \"synth_cache_hits\": 0,\n"
+        "      \"synth_cache_misses\": 0,\n"
+        "      \"synth_cache_stores\": 0,\n"
+        "      \"pool_queue_peak\": 0,\n"
         "      \"verify\": {\n"
         "        \"method\": \"dense\",\n"
         "        \"distance\": 1.5e-08,\n"
@@ -399,6 +413,10 @@ TEST(BatchEmit, JsonGolden)
         "      \"twoq_before\": 29,\n"
         "      \"twoq_after\": 29,\n"
         "      \"error_bound\": 0,\n"
+        "      \"synth_cache_hits\": 0,\n"
+        "      \"synth_cache_misses\": 0,\n"
+        "      \"synth_cache_stores\": 0,\n"
+        "      \"pool_queue_peak\": 0,\n"
         "      \"message\": \"verify skipped: 30 qubits exceed the "
         "sampling cap\",\n"
         "      \"seconds\": 0.25\n"

@@ -166,7 +166,7 @@ TEST(Guoq, AsyncModeRespectsTheorem53)
     const ir::Circuit c =
         transpile::toGateSet(workloads::qft(4), ir::GateSetKind::Nam);
     core::GuoqConfig cfg = quickConfig(1e-5, 2.0);
-    cfg.asyncResynthesis = true;
+    cfg.synthWorkers = 1;
     const core::GuoqResult r =
         core::optimize(c, ir::GateSetKind::Nam, cfg);
     EXPECT_LE(r.errorBound, 1e-5);

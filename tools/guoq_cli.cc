@@ -52,6 +52,7 @@
 #include "qasm/printer.h"
 #include "support/logging.h"
 #include "support/table.h"
+#include "synth/service.h"
 #include "verify/checker.h"
 
 namespace {
@@ -109,6 +110,15 @@ usage(const char *argv0)
         "                   (default 10)\n"
         "  --threads N      portfolio worker threads (default 1)\n"
         "  --seed S         base RNG seed (default 1)\n"
+        "  --synth-workers N\n"
+        "                   shared asynchronous synthesis workers\n"
+        "                   (default 0 = synchronous resynthesis);\n"
+        "                   sets the algorithm's synth-workers param\n"
+        "  --synth-cache DIR\n"
+        "                   persistent content-addressed synthesis\n"
+        "                   cache: results load from DIR at startup\n"
+        "                   and are saved back at exit, so reruns\n"
+        "                   warm-start (format: docs/FORMATS.md)\n"
         "  --iterations K   iteration cap per worker; without an\n"
         "                   explicit --time the cap alone decides where\n"
         "                   the search stops, making runs reproducible\n"
@@ -226,6 +236,8 @@ struct CliOptions
     std::string algorithm = "guoq";
     core::ParamMap params;
     core::PortfolioConfig cfg;
+    int synthWorkers = 0;
+    std::string synthCacheDir;
     int jobs = 1;
     bool keepGoing = false;
     bool verify = false;
@@ -366,6 +378,10 @@ processFile(const fs::path &in, const fs::path &root,
     e.gatesAfter = result.circuit.size();
     e.twoQubitAfter = result.circuit.twoQubitGateCount();
     e.errorBound = result.errorBound;
+    e.synthCacheHits = result.stats.synthCacheHits;
+    e.synthCacheMisses = result.stats.synthCacheMisses;
+    e.synthCacheStores = result.stats.synthCacheStores;
+    e.poolQueuePeak = result.stats.poolQueuePeak;
 
     // Verification dispatches through the checker registry: `auto`
     // covers every width the sampling backend can hold, so a skip is
@@ -579,6 +595,20 @@ runBatch(const CliOptions &opt)
     meta.threads = opt.cfg.threads;
     meta.jobs = opt.jobs;
     meta.seed = opt.cfg.base.seed;
+    meta.synthWorkers = opt.synthWorkers;
+    meta.synthCacheDir = opt.synthCacheDir;
+    if (!opt.quiet && !opt.synthCacheDir.empty()) {
+        long hits = 0, misses = 0, stores = 0;
+        for (const bench::BatchFileEntry &e : entries) {
+            hits += e.synthCacheHits;
+            misses += e.synthCacheMisses;
+            stores += e.synthCacheStores;
+        }
+        std::fprintf(stderr,
+                     "guoq_cli: synthesis cache: %ld hit(s), %ld "
+                     "miss(es), %ld store(s)\n",
+                     hits, misses, stores);
+    }
     const std::string json = bench::toBatchJson(meta, entries);
     const std::string summaryPath =
         opt.summaryPath.empty()
@@ -682,6 +712,14 @@ runSingle(const CliOptions &opt)
                      "%ld resynthesis accepts, %.2fs wall\n",
                      result.stats.iterations, result.stats.accepted,
                      result.stats.resynthAccepted, result.stats.seconds);
+        if (!opt.synthCacheDir.empty() || opt.synthWorkers > 0)
+            std::fprintf(stderr,
+                         "guoq_cli: synthesis cache: %ld hit(s), %ld "
+                         "miss(es), %ld store(s); pool queue peak %ld\n",
+                         result.stats.synthCacheHits,
+                         result.stats.synthCacheMisses,
+                         result.stats.synthCacheStores,
+                         result.stats.poolQueuePeak);
         for (const core::PortfolioWorkerReport &w : result.workers)
             std::fprintf(stderr,
                          "guoq_cli:   worker %d: seed %llu, final cost "
@@ -821,6 +859,15 @@ main(int argc, char **argv)
             opt.cfg.threads = static_cast<int>(n);
         } else if (arg == "--seed") {
             opt.cfg.base.seed = parseSeed(arg, value(i));
+        } else if (arg == "--synth-workers") {
+            const long n = parseLong(arg, value(i));
+            if (n < 0 || n > 256)
+                die("--synth-workers must be in [0, 256]");
+            opt.synthWorkers = static_cast<int>(n);
+        } else if (arg == "--synth-cache") {
+            opt.synthCacheDir = value(i);
+            if (opt.synthCacheDir.empty())
+                die("--synth-cache expects a directory");
         } else if (arg == "--iterations") {
             opt.cfg.base.maxIterations = parseLong(arg, value(i));
             // 0 would emit the input unchanged (silent no-op); omit
@@ -875,6 +922,20 @@ main(int argc, char **argv)
             msg += " (did you mean '" + guess + "'?)";
         die(msg + "; see --list-algorithms");
     }
+    // --synth-workers maps onto the algorithm's own `synth-workers`
+    // parameter when it declares one (the GUOQ family); algorithms
+    // without the parameter (exact baselines) simply leave the shared
+    // pool idle. An explicit --param synth-workers=N wins.
+    if (opt.synthWorkers > 0 &&
+        opt.params.find("synth-workers") == opt.params.end()) {
+        for (const core::ParamSpec &p : opt.optimizer->info().params)
+            if (p.key == "synth-workers") {
+                opt.params["synth-workers"] =
+                    std::to_string(opt.synthWorkers);
+                break;
+            }
+    }
+
     // checkRequest covers both the --param metadata and algorithm
     // preconditions (e.g. guoq-resynth without --epsilon), so a
     // misconfigured run is a usage error here instead of a fatal()
@@ -910,5 +971,47 @@ main(int argc, char **argv)
     if (opt.cfg.base.maxIterations >= 0 && !explicit_time)
         opt.cfg.base.timeBudgetSeconds = kMaxTimeSeconds;
 
-    return batch ? runBatch(opt) : runSingle(opt);
+    // Configure the process-wide synthesis service every resynthesis
+    // call routes through: the shared worker pool (all jobs and
+    // portfolio workers submit to it) and the persistent cache tier.
+    synth::SynthService &service = synth::SynthService::global();
+    if (opt.synthWorkers > 0)
+        service.configurePool(opt.synthWorkers);
+    if (!opt.synthCacheDir.empty()) {
+        std::error_code cache_ec;
+        fs::create_directories(opt.synthCacheDir, cache_ec);
+        if (cache_ec)
+            fail("--synth-cache: cannot create " + opt.synthCacheDir +
+                 ": " + cache_ec.message());
+        std::string err;
+        if (!service.loadCacheDir(opt.synthCacheDir, &err))
+            std::fprintf(stderr, "guoq_cli: warning: %s; starting "
+                                 "with an empty cache\n",
+                         err.c_str());
+        else if (!err.empty())
+            std::fprintf(stderr, "guoq_cli: warning: %s\n", err.c_str());
+        if (!opt.quiet)
+            std::fprintf(stderr,
+                         "guoq_cli: synthesis cache: %zu entr%s "
+                         "loaded from %s\n",
+                         service.cache().size(),
+                         service.cache().size() == 1 ? "y" : "ies",
+                         opt.synthCacheDir.c_str());
+    }
+
+    const int rc = batch ? runBatch(opt) : runSingle(opt);
+
+    if (!opt.synthCacheDir.empty()) {
+        std::string err;
+        if (!service.saveCacheDir(opt.synthCacheDir, &err))
+            fail("--synth-cache: " + err);
+        if (!opt.quiet)
+            std::fprintf(stderr,
+                         "guoq_cli: synthesis cache: %zu entr%s "
+                         "saved to %s\n",
+                         service.cache().size(),
+                         service.cache().size() == 1 ? "y" : "ies",
+                         opt.synthCacheDir.c_str());
+    }
+    return rc;
 }
