@@ -3,12 +3,250 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/kernels.h"
 #include "support/logging.h"
 
 namespace guoq {
 namespace sim {
 
 using linalg::Complex;
+
+namespace {
+
+/**
+ * One pre-analyzed gate application, the unit the circuit scheduler
+ * works in: which kernel runs, its bit positions/mask, and its
+ * constants. Generic carries the original gate for the legacy
+ * span x span fallback (gate kinds without a specialized kernel).
+ */
+struct KernelOp
+{
+    enum class Kind
+    {
+        Dense1q,     //!< m[0..4) 2x2 on `bit`
+        Diag1q,      //!< diag(m[0], m[1]) on `bit`
+        PermPhase1q, //!< out_lo = m[0]*in_hi, out_hi = m[1]*in_lo
+        PhaseMask,   //!< amps with all `mask` bits set *= m[0]
+        CtrlX,       //!< X on `bit` controlled on `mask`
+        SwapBits,    //!< swap `bit` and `bit2` values
+        Dense2q,     //!< m[0..16) 4x4 on (`bit` msb, `bit2` lsb)
+        Generic,     //!< legacy matrix apply of `generic`
+    };
+
+    Kind kind = Kind::Generic;
+    int bit = 0;
+    int bit2 = 0;
+    std::size_t mask = 0;
+    Complex m[16];
+    ir::Gate generic;
+};
+
+bool
+isDiagonalKind(ir::GateKind k)
+{
+    switch (k) {
+      case ir::GateKind::Z:
+      case ir::GateKind::S:
+      case ir::GateKind::Sdg:
+      case ir::GateKind::T:
+      case ir::GateKind::Tdg:
+      case ir::GateKind::Rz:
+      case ir::GateKind::U1:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Pick the kernel for one gate (bit positions from the qubit 0 =
+ *  MSB convention shared with unitary_sim). */
+KernelOp
+classify(const ir::Gate &gate, int num_qubits)
+{
+    const auto bitOf = [&](std::size_t k) {
+        return num_qubits - 1 - gate.qubits[k];
+    };
+    KernelOp op;
+    switch (gate.kind) {
+      case ir::GateKind::Z:
+      case ir::GateKind::S:
+      case ir::GateKind::Sdg:
+      case ir::GateKind::T:
+      case ir::GateKind::Tdg:
+      case ir::GateKind::Rz:
+      case ir::GateKind::U1: {
+        const linalg::ComplexMatrix g = gate.matrix();
+        op.kind = KernelOp::Kind::Diag1q;
+        op.bit = bitOf(0);
+        op.m[0] = g(0, 0);
+        op.m[1] = g(1, 1);
+        return op;
+      }
+      case ir::GateKind::X:
+        op.kind = KernelOp::Kind::PermPhase1q;
+        op.bit = bitOf(0);
+        op.m[0] = 1.0;
+        op.m[1] = 1.0;
+        return op;
+      case ir::GateKind::Y:
+        op.kind = KernelOp::Kind::PermPhase1q;
+        op.bit = bitOf(0);
+        op.m[0] = Complex(0, -1);
+        op.m[1] = Complex(0, 1);
+        return op;
+      case ir::GateKind::CX:
+        op.kind = KernelOp::Kind::CtrlX;
+        op.mask = std::size_t{1} << bitOf(0);
+        op.bit = bitOf(1);
+        return op;
+      case ir::GateKind::CCX:
+        op.kind = KernelOp::Kind::CtrlX;
+        op.mask = (std::size_t{1} << bitOf(0)) |
+                  (std::size_t{1} << bitOf(1));
+        op.bit = bitOf(2);
+        return op;
+      case ir::GateKind::CZ:
+      case ir::GateKind::CCZ:
+      case ir::GateKind::CP: {
+        op.kind = KernelOp::Kind::PhaseMask;
+        for (std::size_t k = 0; k < gate.qubits.size(); ++k)
+            op.mask |= std::size_t{1} << bitOf(k);
+        op.m[0] = gate.kind == ir::GateKind::CP
+                      ? std::polar(1.0, gate.params[0])
+                      : Complex(-1.0);
+        return op;
+      }
+      case ir::GateKind::Swap:
+        op.kind = KernelOp::Kind::SwapBits;
+        op.bit = bitOf(0);
+        op.bit2 = bitOf(1);
+        return op;
+      case ir::GateKind::Rxx: {
+        const linalg::ComplexMatrix g = gate.matrix();
+        op.kind = KernelOp::Kind::Dense2q;
+        op.bit = bitOf(0);
+        op.bit2 = bitOf(1);
+        for (std::size_t r = 0; r < 4; ++r)
+            for (std::size_t c = 0; c < 4; ++c)
+                op.m[4 * r + c] = g(r, c);
+        return op;
+      }
+      default:
+        break;
+    }
+    if (gate.arity() == 1) {
+        const linalg::ComplexMatrix g = gate.matrix();
+        op.kind = KernelOp::Kind::Dense1q;
+        op.bit = bitOf(0);
+        op.m[0] = g(0, 0);
+        op.m[1] = g(0, 1);
+        op.m[2] = g(1, 0);
+        op.m[3] = g(1, 1);
+        return op;
+    }
+    op.kind = KernelOp::Kind::Generic;
+    op.generic = gate;
+    return op;
+}
+
+bool
+isOne(Complex c)
+{
+    return c.real() == 1.0 && c.imag() == 0.0;
+}
+
+/**
+ * Run one non-Generic op on the chunk amps[0..n) whose absolute base
+ * index is @p base (0 and n = dim for unblocked application). Ops
+ * whose strides reach past the chunk must be diagonal-shaped — the
+ * scheduler's isBlockLocal() guarantees it — and resolve their high
+ * bits against @p base.
+ */
+void
+applyOp(Complex *amps, std::size_t n, std::size_t base,
+        const KernelOp &op)
+{
+    switch (op.kind) {
+      case KernelOp::Kind::Dense1q:
+        kernels::applyDense1q(amps, n, op.bit, op.m);
+        return;
+      case KernelOp::Kind::Diag1q:
+        if ((std::size_t{1} << op.bit) < n) {
+            kernels::applyDiag1q(amps, n, op.bit, op.m[0], op.m[1]);
+        } else {
+            const Complex d =
+                (base >> op.bit) & 1 ? op.m[1] : op.m[0];
+            if (!isOne(d))
+                kernels::scaleRange(amps, n, d);
+        }
+        return;
+      case KernelOp::Kind::PermPhase1q:
+        kernels::applyPermPhase1q(amps, n, op.bit, op.m[0], op.m[1]);
+        return;
+      case KernelOp::Kind::PhaseMask: {
+        const std::size_t high = op.mask & ~(n - 1);
+        if ((base & high) != high)
+            return;
+        const std::size_t low = op.mask & (n - 1);
+        if (low)
+            kernels::applyPhaseMask(amps, n, low, op.m[0]);
+        else
+            kernels::scaleRange(amps, n, op.m[0]);
+        return;
+      }
+      case KernelOp::Kind::CtrlX: {
+        const std::size_t high = op.mask & ~(n - 1);
+        if ((base & high) == high)
+            kernels::applyCtrlX(amps, n, op.mask & (n - 1), op.bit);
+        return;
+      }
+      case KernelOp::Kind::SwapBits:
+        kernels::applySwapBits(amps, n, op.bit, op.bit2);
+        return;
+      case KernelOp::Kind::Dense2q:
+        kernels::applyDense2q(amps, n, op.bit, op.bit2, op.m);
+        return;
+      case KernelOp::Kind::Generic:
+        support::panic("StateVector: Generic op reached applyOp");
+    }
+}
+
+/** Can @p op run chunk-by-chunk on 2^kBlockBits-amplitude chunks?
+ *  Diagonal-shaped ops always can (high bits resolve against the
+ *  chunk base); amplitude-moving ops need every stride inside the
+ *  chunk. */
+bool
+isBlockLocal(const KernelOp &op)
+{
+    switch (op.kind) {
+      case KernelOp::Kind::Diag1q:
+      case KernelOp::Kind::PhaseMask:
+        return true;
+      case KernelOp::Kind::Dense1q:
+      case KernelOp::Kind::PermPhase1q:
+      case KernelOp::Kind::CtrlX:
+        return op.bit < kernels::kBlockBits;
+      case KernelOp::Kind::SwapBits:
+      case KernelOp::Kind::Dense2q:
+        return op.bit < kernels::kBlockBits &&
+               op.bit2 < kernels::kBlockBits;
+      case KernelOp::Kind::Generic:
+        return false;
+    }
+    return false;
+}
+
+/** Pending fused run of 1q gates on one qubit. */
+struct Pending
+{
+    bool active = false;
+    bool allDiag = true;
+    int count = 0;
+    Complex m[4]; //!< accumulated 2x2, row-major
+    ir::Gate first;
+};
+
+} // namespace
 
 StateVector::StateVector(int num_qubits)
     : numQubits_(num_qubits),
@@ -20,7 +258,7 @@ StateVector::StateVector(int num_qubits)
 }
 
 void
-StateVector::apply(const ir::Gate &gate)
+StateVector::applyGeneric(const ir::Gate &gate)
 {
     const int m = gate.arity();
     const std::size_t span = std::size_t{1} << m;
@@ -63,25 +301,164 @@ StateVector::apply(const ir::Gate &gate)
 }
 
 void
+StateVector::applyGeneric(const ir::Circuit &c)
+{
+    if (c.numQubits() != numQubits_)
+        support::panic(support::strcat(
+            "StateVector::applyGeneric: circuit has ", c.numQubits(),
+            " qubits, state has ", numQubits_));
+    for (const ir::Gate &g : c.gates())
+        applyGeneric(g);
+}
+
+void
+StateVector::apply(const ir::Gate &gate)
+{
+    const KernelOp op = classify(gate, numQubits_);
+    if (op.kind == KernelOp::Kind::Generic) {
+        applyGeneric(gate);
+        return;
+    }
+    applyOp(amps_.data(), amps_.size(), 0, op);
+}
+
+void
 StateVector::apply(const ir::Circuit &c)
 {
     if (c.numQubits() != numQubits_)
-        support::panic("StateVector::apply: qubit count mismatch");
-    for (const ir::Gate &g : c.gates())
-        apply(g);
+        support::panic(support::strcat("StateVector::apply: circuit has ",
+                                       c.numQubits(), " qubits, state has ",
+                                       numQubits_));
+
+    // 1) Fuse: collapse each run of 1q gates on one qubit into a
+    // single op — one diagonal product when every factor is diagonal,
+    // one dense 2x2 otherwise. A single-gate run keeps its exact
+    // specialized kernel (bit-for-bit the generic arithmetic for
+    // diagonal/permutation kinds); a multi-qubit gate flushes the
+    // runs of the qubits it touches first.
+    std::vector<KernelOp> ops;
+    ops.reserve(c.size());
+    std::vector<Pending> pending(
+        static_cast<std::size_t>(numQubits_));
+
+    const auto flush = [&](int q) {
+        Pending &p = pending[static_cast<std::size_t>(q)];
+        if (!p.active)
+            return;
+        if (p.count == 1) {
+            ops.push_back(classify(p.first, numQubits_));
+        } else {
+            KernelOp op;
+            op.bit = numQubits_ - 1 - q;
+            if (p.allDiag) {
+                op.kind = KernelOp::Kind::Diag1q;
+                op.m[0] = p.m[0];
+                op.m[1] = p.m[3];
+            } else {
+                op.kind = KernelOp::Kind::Dense1q;
+                op.m[0] = p.m[0];
+                op.m[1] = p.m[1];
+                op.m[2] = p.m[2];
+                op.m[3] = p.m[3];
+            }
+            ops.push_back(op);
+        }
+        p = Pending{};
+    };
+
+    for (const ir::Gate &g : c.gates()) {
+        if (g.arity() == 1) {
+            Pending &p = pending[static_cast<std::size_t>(g.qubits[0])];
+            const linalg::ComplexMatrix gm = g.matrix();
+            if (!p.active) {
+                p.active = true;
+                p.allDiag = isDiagonalKind(g.kind);
+                p.count = 1;
+                p.first = g;
+                p.m[0] = gm(0, 0);
+                p.m[1] = gm(0, 1);
+                p.m[2] = gm(1, 0);
+                p.m[3] = gm(1, 1);
+            } else {
+                // Later gate multiplies from the left: m <- gm * m.
+                const Complex n0 = gm(0, 0) * p.m[0] + gm(0, 1) * p.m[2];
+                const Complex n1 = gm(0, 0) * p.m[1] + gm(0, 1) * p.m[3];
+                const Complex n2 = gm(1, 0) * p.m[0] + gm(1, 1) * p.m[2];
+                const Complex n3 = gm(1, 0) * p.m[1] + gm(1, 1) * p.m[3];
+                p.m[0] = n0;
+                p.m[1] = n1;
+                p.m[2] = n2;
+                p.m[3] = n3;
+                p.allDiag = p.allDiag && isDiagonalKind(g.kind);
+                ++p.count;
+            }
+        } else {
+            for (int q : g.qubits)
+                flush(q);
+            ops.push_back(classify(g, numQubits_));
+        }
+    }
+    for (int q = 0; q < numQubits_; ++q)
+        flush(q);
+
+    // 2) Execute: runs of block-local ops make one pass over the
+    // amplitudes, chunk by cache-sized chunk, applying every op of
+    // the run while the chunk is resident; everything else (ops whose
+    // strides cross chunks, generic fallbacks) applies over the full
+    // vector individually. Chunking never changes per-element
+    // arithmetic, so this is bit-identical to unblocked application.
+    Complex *data = amps_.data();
+    const std::size_t dim = amps_.size();
+    const std::size_t block = std::min(
+        dim, std::size_t{1} << kernels::kBlockBits);
+
+    std::size_t i = 0;
+    while (i < ops.size()) {
+        if (ops[i].kind == KernelOp::Kind::Generic) {
+            applyGeneric(ops[i].generic);
+            ++i;
+            continue;
+        }
+        if (!isBlockLocal(ops[i])) {
+            applyOp(data, dim, 0, ops[i]);
+            ++i;
+            continue;
+        }
+        std::size_t j = i + 1;
+        while (j < ops.size() &&
+               ops[j].kind != KernelOp::Kind::Generic &&
+               isBlockLocal(ops[j]))
+            ++j;
+        if (j - i == 1 || block == dim) {
+            for (std::size_t k = i; k < j; ++k)
+                applyOp(data, dim, 0, ops[k]);
+        } else {
+            for (std::size_t base = 0; base < dim; base += block)
+                for (std::size_t k = i; k < j; ++k)
+                    applyOp(data + base, block, base, ops[k]);
+        }
+        i = j;
+    }
 }
 
 double
 StateVector::probability(std::size_t index) const
 {
+    if (index >= amps_.size())
+        support::panic(support::strcat(
+            "StateVector::probability: index ", index,
+            " out of range for a ", numQubits_, "-qubit state (dim ",
+            amps_.size(), ")"));
     return std::norm(amps_[index]);
 }
 
 Complex
 StateVector::innerProduct(const StateVector &other) const
 {
-    if (other.amps_.size() != amps_.size())
-        support::panic("StateVector::innerProduct: size mismatch");
+    if (other.numQubits_ != numQubits_)
+        support::panic(support::strcat(
+            "StateVector::innerProduct: width mismatch (this has ",
+            numQubits_, " qubits, other has ", other.numQubits_, ")"));
     Complex acc = 0;
     for (std::size_t i = 0; i < amps_.size(); ++i)
         acc += std::conj(amps_[i]) * other.amps_[i];

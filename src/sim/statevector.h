@@ -1,8 +1,22 @@
 /**
  * @file
  * Statevector simulation — cheaper than the full unitary (O(2^n) per
- * gate) and used by tests and examples to compare circuit behaviour on
- * concrete inputs up to ~20 qubits.
+ * gate) and the hot inner loop of sampling verification
+ * (verify/sampling.cc), numopt instantiation, and the fidelity
+ * objective, usable up to ~24 qubits.
+ *
+ * Gate application runs through the specialized kernels of
+ * sim/kernels.h: per-gate dispatch picks a diagonal, permutation,
+ * dense-1q/2q, or phase-mask kernel (applyGeneric keeps the legacy
+ * span x span matrix apply as the reference and fallback), and the
+ * whole-circuit path additionally fuses runs of 1q gates on the same
+ * qubit into one 2x2 matrix and applies runs of block-local ops one
+ * cache-sized chunk at a time (one pass over the 2^n amplitudes per
+ * run instead of one pass per gate). Equivalence against the generic
+ * path is pinned by tests/test_statevector_kernels.cc: bit-for-bit
+ * for single diagonal/permutation gates, <= 1e-12 per amplitude where
+ * fusion or SIMD reassociate the arithmetic. The perf methodology and
+ * the `statevector` bench case live in docs/PERFORMANCE.md.
  */
 
 #pragma once
@@ -27,18 +41,30 @@ class StateVector
 
     const std::vector<linalg::Complex> &amplitudes() const { return amps_; }
 
-    /** Apply one gate in place. */
+    /** Apply one gate in place via its specialized kernel. */
     void apply(const ir::Gate &gate);
 
-    /** Apply a whole circuit in place. */
+    /** Apply a whole circuit in place: fuses same-qubit 1q runs and
+     *  cache-blocks runs of block-local ops (see file header). */
     void apply(const ir::Circuit &c);
 
-    /** Probability of measuring basis state @p index. */
+    /** Apply one gate via the legacy generic matrix path — the
+     *  reference the kernel tests and the `statevector` bench case
+     *  compare against, and the fallback for gate kinds without a
+     *  specialized kernel. */
+    void applyGeneric(const ir::Gate &gate);
+
+    /** Apply a whole circuit gate-by-gate via applyGeneric (the
+     *  pre-kernel behaviour; no fusion, no blocking). */
+    void applyGeneric(const ir::Circuit &c);
+
+    /** Probability of measuring basis state @p index (must be < dim). */
     double probability(std::size_t index) const;
 
     /** Complex inner product <this|other>. The verification layer's
      *  sampling backend averages this over random product states to
-     *  estimate Tr(U†V)/2^n (verify/sampling.cc). */
+     *  estimate Tr(U†V)/2^n (verify/sampling.cc). Both states must
+     *  have the same qubit count. */
     linalg::Complex innerProduct(const StateVector &other) const;
 
     /** Inner-product magnitude |<this|other>|. */

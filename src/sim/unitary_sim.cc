@@ -4,6 +4,7 @@
 #include <array>
 
 #include "linalg/unitary.h"
+#include "sim/kernels.h"
 #include "support/logging.h"
 
 namespace guoq {
@@ -13,6 +14,64 @@ using linalg::Complex;
 using linalg::ComplexMatrix;
 
 namespace {
+
+bool
+isZero(Complex c)
+{
+    return c.real() == 0.0 && c.imag() == 0.0;
+}
+
+bool
+isOne(Complex c)
+{
+    return c.real() == 1.0 && c.imag() == 0.0;
+}
+
+/** If @p g is diagonal, fill @p d with its diagonal and return true. */
+bool
+diagonalOf(const ComplexMatrix &g, std::vector<Complex> &d)
+{
+    const std::size_t span = g.rows();
+    d.resize(span);
+    for (std::size_t a = 0; a < span; ++a) {
+        for (std::size_t b = 0; b < span; ++b)
+            if (a != b && !isZero(g(a, b)))
+                return false;
+        d[a] = g(a, a);
+    }
+    return true;
+}
+
+/**
+ * If @p g is a phased involutive permutation (exactly one nonzero per
+ * row, and the permutation is its own inverse — X, Y, CX, Swap, CCX,
+ * ... all qualify), fill p/ph with out[a] = ph[a] * in[p[a]] and
+ * return true.
+ */
+bool
+permutationOf(const ComplexMatrix &g, std::vector<std::size_t> &p,
+              std::vector<Complex> &ph)
+{
+    const std::size_t span = g.rows();
+    p.assign(span, span);
+    ph.resize(span);
+    for (std::size_t a = 0; a < span; ++a) {
+        for (std::size_t b = 0; b < span; ++b) {
+            if (isZero(g(a, b)))
+                continue;
+            if (p[a] != span)
+                return false; // second nonzero in this row
+            p[a] = b;
+            ph[a] = g(a, b);
+        }
+        if (p[a] == span)
+            return false; // all-zero row (not a unitary anyway)
+    }
+    for (std::size_t a = 0; a < span; ++a)
+        if (p[p[a]] != a)
+            return false; // not an involution; take the dense path
+    return true;
+}
 
 /**
  * Expand @p i by inserting zero bits at the (ascending) positions in
@@ -62,22 +121,73 @@ applyGate(ComplexMatrix &u, const ir::Gate &gate, int num_qubits)
     std::sort(sorted_pos.begin(), sorted_pos.end());
 
     const std::size_t groups = dim >> m;
-    std::vector<Complex> in(span), out(span);
     Complex *data = u.data();
 
-    for (std::size_t col = 0; col < dim; ++col) {
+    // Row-major storage: gate application mixes whole rows, so work
+    // row-at-a-time (unit stride) instead of column-at-a-time.
+    // Diagonal gates scale rows in place and phased involutive
+    // permutations (X, CX, Swap, ...) move rows without a matvec —
+    // both bit-identical to the dense path's arithmetic.
+    std::vector<Complex> diag;
+    if (diagonalOf(g, diag)) {
         for (std::size_t i = 0; i < groups; ++i) {
             const std::size_t base = expandIndex(i, sorted_pos);
             for (std::size_t a = 0; a < span; ++a)
-                in[a] = data[(base + offset[a]) * dim + col];
+                if (!isOne(diag[a]))
+                    kernels::scaleRange(data + (base + offset[a]) * dim,
+                                        dim, diag[a]);
+        }
+        return;
+    }
+
+    std::vector<std::size_t> perm;
+    std::vector<Complex> phase;
+    if (permutationOf(g, perm, phase)) {
+        std::vector<Complex> tmp(dim);
+        for (std::size_t i = 0; i < groups; ++i) {
+            const std::size_t base = expandIndex(i, sorted_pos);
+            for (std::size_t a = 0; a < span; ++a) {
+                const std::size_t b = perm[a];
+                if (b == a) {
+                    if (!isOne(phase[a]))
+                        kernels::scaleRange(
+                            data + (base + offset[a]) * dim, dim,
+                            phase[a]);
+                    continue;
+                }
+                if (b < a)
+                    continue; // handled as the partner of its pair
+                Complex *rowA = data + (base + offset[a]) * dim;
+                Complex *rowB = data + (base + offset[b]) * dim;
+                if (isOne(phase[a]) && isOne(phase[b])) {
+                    std::swap_ranges(rowA, rowA + dim, rowB);
+                } else {
+                    std::copy(rowA, rowA + dim, tmp.begin());
+                    for (std::size_t col = 0; col < dim; ++col)
+                        rowA[col] = phase[a] * rowB[col];
+                    for (std::size_t col = 0; col < dim; ++col)
+                        rowB[col] = phase[b] * tmp[col];
+                }
+            }
+        }
+        return;
+    }
+
+    std::vector<Complex *> row(span);
+    std::vector<Complex> in(span);
+    for (std::size_t i = 0; i < groups; ++i) {
+        const std::size_t base = expandIndex(i, sorted_pos);
+        for (std::size_t a = 0; a < span; ++a)
+            row[a] = data + (base + offset[a]) * dim;
+        for (std::size_t col = 0; col < dim; ++col) {
+            for (std::size_t a = 0; a < span; ++a)
+                in[a] = row[a][col];
             for (std::size_t a = 0; a < span; ++a) {
                 Complex acc = 0;
                 for (std::size_t b = 0; b < span; ++b)
                     acc += g(a, b) * in[b];
-                out[a] = acc;
+                row[a][col] = acc;
             }
-            for (std::size_t a = 0; a < span; ++a)
-                data[(base + offset[a]) * dim + col] = out[a];
         }
     }
 }

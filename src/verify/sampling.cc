@@ -48,15 +48,19 @@ randomBlochGate(int qubit, support::Rng &rng)
     return ir::Gate(ir::GateKind::U3, {qubit}, {theta, phi, 0.0});
 }
 
-/** One shot: ⟨C1ψ|C2ψ⟩ for a fresh random product state ψ. */
+/** One shot: ⟨C1ψ|C2ψ⟩ for a fresh random product state ψ. The prep
+ *  is built as a circuit (one U3 per qubit) so it and both circuits
+ *  run through StateVector's fused, cache-blocked circuit path. */
 Complex
 shotOverlap(const ir::Circuit &a, const ir::Circuit &b,
             std::uint64_t seed)
 {
     support::Rng rng(seed);
-    sim::StateVector psi(a.numQubits());
+    ir::Circuit prep(a.numQubits());
     for (int q = 0; q < a.numQubits(); ++q)
-        psi.apply(randomBlochGate(q, rng));
+        prep.add(randomBlochGate(q, rng));
+    sim::StateVector psi(a.numQubits());
+    psi.apply(prep);
     sim::StateVector left = psi;
     left.apply(a);
     psi.apply(b);

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Equivalence tests for the specialized statevector kernels: every
+ * kernel is pinned against the legacy generic matrix apply
+ * (StateVector::applyGeneric) — bit-for-bit for single
+ * diagonal/permutation gates and for the scalar dense path, <= 1e-12
+ * per amplitude where fusion or SIMD reassociate the arithmetic — plus
+ * fusion-boundary edge cases, multi-block circuits, thread-count
+ * determinism of sampling verification on a kernel-path width, and the
+ * width assertions of probability/innerProduct.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "sim/kernels.h"
+#include "sim/statevector.h"
+#include "support/rng.h"
+#include "tests/test_util.h"
+#include "verify/checker.h"
+
+namespace guoq {
+namespace {
+
+using linalg::Complex;
+
+/** Restore the SIMD policy on scope exit. */
+class PolicyGuard
+{
+  public:
+    explicit PolicyGuard(sim::kernels::SimdPolicy p)
+        : saved_(sim::kernels::simdPolicy())
+    {
+        sim::kernels::setSimdPolicy(p);
+    }
+    ~PolicyGuard() { sim::kernels::setSimdPolicy(saved_); }
+
+  private:
+    sim::kernels::SimdPolicy saved_;
+};
+
+/** A non-trivial start state: every amplitude distinct and nonzero. */
+sim::StateVector
+randomState(int num_qubits, std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    sim::StateVector sv(num_qubits);
+    ir::Circuit prep = testutil::randomNativeCircuit(
+        ir::GateSetKind::Ibmq20, num_qubits, 4 * num_qubits, rng);
+    sv.applyGeneric(prep);
+    return sv;
+}
+
+/** A gate of @p kind on the first qubits of a register, angles from
+ *  @p rng. */
+ir::Gate
+makeGate(ir::GateKind kind, const std::vector<int> &qubits,
+         support::Rng &rng)
+{
+    std::vector<double> params;
+    for (int p = 0; p < ir::gateParamCount(kind); ++p)
+        params.push_back(rng.uniform(-M_PI, M_PI));
+    return ir::Gate(kind, qubits, std::move(params));
+}
+
+void
+expectBitIdentical(const sim::StateVector &a, const sim::StateVector &b,
+                   const std::string &what)
+{
+    ASSERT_EQ(a.dim(), b.dim());
+    for (std::size_t i = 0; i < a.dim(); ++i) {
+        // == is zero-sign agnostic: the generic path's additions of
+        // exact-zero products may flip a zero's sign, nothing else.
+        EXPECT_EQ(a.amplitudes()[i].real(), b.amplitudes()[i].real())
+            << what << " amplitude " << i;
+        EXPECT_EQ(a.amplitudes()[i].imag(), b.amplitudes()[i].imag())
+            << what << " amplitude " << i;
+    }
+}
+
+void
+expectClose(const sim::StateVector &a, const sim::StateVector &b,
+            double tol, const std::string &what)
+{
+    ASSERT_EQ(a.dim(), b.dim());
+    for (std::size_t i = 0; i < a.dim(); ++i)
+        EXPECT_LT(std::abs(a.amplitudes()[i] - b.amplitudes()[i]), tol)
+            << what << " amplitude " << i;
+}
+
+const std::vector<ir::GateKind> &
+diagonalOrPermutationKinds()
+{
+    static const std::vector<ir::GateKind> kinds = {
+        ir::GateKind::X,  ir::GateKind::Y,    ir::GateKind::Z,
+        ir::GateKind::S,  ir::GateKind::Sdg,  ir::GateKind::T,
+        ir::GateKind::Tdg, ir::GateKind::Rz,  ir::GateKind::U1,
+        ir::GateKind::CX, ir::GateKind::CZ,   ir::GateKind::Swap,
+        ir::GateKind::CP, ir::GateKind::CCX,  ir::GateKind::CCZ,
+    };
+    return kinds;
+}
+
+const std::vector<ir::GateKind> &
+denseKinds()
+{
+    static const std::vector<ir::GateKind> kinds = {
+        ir::GateKind::H,  ir::GateKind::SX, ir::GateKind::SXdg,
+        ir::GateKind::Rx, ir::GateKind::Ry, ir::GateKind::U2,
+        ir::GateKind::U3, ir::GateKind::Rxx,
+    };
+    return kinds;
+}
+
+std::vector<int>
+qubitsFor(ir::GateKind kind, int num_qubits, support::Rng &rng)
+{
+    std::vector<int> qs;
+    while (static_cast<int>(qs.size()) < ir::gateArity(kind)) {
+        const int q = static_cast<int>(
+            rng.index(static_cast<std::size_t>(num_qubits)));
+        bool dup = false;
+        for (int used : qs)
+            dup |= used == q;
+        if (!dup)
+            qs.push_back(q);
+    }
+    return qs;
+}
+
+// --- per-kernel equivalence -------------------------------------------
+
+TEST(StatevectorKernels, DiagonalAndPermutationGatesAreBitExact)
+{
+    // Any SIMD policy: these kernels are scalar by design.
+    support::Rng rng(11);
+    for (ir::GateKind kind : diagonalOrPermutationKinds()) {
+        for (int trial = 0; trial < 8; ++trial) {
+            sim::StateVector fast = randomState(6, 100 + trial);
+            sim::StateVector ref = fast;
+            const ir::Gate g =
+                makeGate(kind, qubitsFor(kind, 6, rng), rng);
+            fast.apply(g);
+            ref.applyGeneric(g);
+            expectBitIdentical(fast, ref, ir::gateName(kind));
+        }
+    }
+}
+
+TEST(StatevectorKernels, DenseGatesAreBitExactUnderScalarPolicy)
+{
+    PolicyGuard guard(sim::kernels::SimdPolicy::ForceScalar);
+    support::Rng rng(12);
+    for (ir::GateKind kind : denseKinds()) {
+        for (int trial = 0; trial < 8; ++trial) {
+            sim::StateVector fast = randomState(6, 200 + trial);
+            sim::StateVector ref = fast;
+            const ir::Gate g =
+                makeGate(kind, qubitsFor(kind, 6, rng), rng);
+            fast.apply(g);
+            ref.applyGeneric(g);
+            expectBitIdentical(fast, ref, ir::gateName(kind));
+        }
+    }
+}
+
+TEST(StatevectorKernels, DenseGatesMatchGenericUnderSimd)
+{
+    // Auto policy: on AVX2/NEON hardware FMA reassociates rounding,
+    // so per-amplitude agreement is pinned at 1e-12, far above the
+    // ~1e-15 drift and far below any algorithmic error.
+    PolicyGuard guard(sim::kernels::SimdPolicy::Auto);
+    support::Rng rng(13);
+    for (ir::GateKind kind : denseKinds()) {
+        for (int trial = 0; trial < 8; ++trial) {
+            sim::StateVector fast = randomState(7, 300 + trial);
+            sim::StateVector ref = fast;
+            const ir::Gate g =
+                makeGate(kind, qubitsFor(kind, 7, rng), rng);
+            fast.apply(g);
+            ref.applyGeneric(g);
+            expectClose(fast, ref, 1e-12, ir::gateName(kind));
+        }
+    }
+}
+
+// --- whole-circuit path: fusion + blocking ----------------------------
+
+TEST(StatevectorKernels, RandomCircuitsMatchGenericAcrossWidths)
+{
+    // 50 random circuits over every gate set, 1..14 qubits: the fused,
+    // cache-blocked circuit path vs gate-by-gate generic application.
+    const ir::GateSetKind sets[] = {
+        ir::GateSetKind::Ibmq20, ir::GateSetKind::IbmEagle,
+        ir::GateSetKind::IonQ, ir::GateSetKind::Nam,
+        ir::GateSetKind::CliffordT};
+    support::Rng rng(21);
+    for (int trial = 0; trial < 50; ++trial) {
+        const int n = 1 + trial % 14;
+        const ir::GateSetKind set = sets[trial % 5];
+        const ir::Circuit c =
+            testutil::randomNativeCircuit(set, n, 12 * n, rng);
+        sim::StateVector fast(n);
+        sim::StateVector ref(n);
+        fast.apply(c);
+        ref.applyGeneric(c);
+        expectClose(fast, ref, 1e-12, "random circuit");
+    }
+}
+
+TEST(StatevectorKernels, FusionCollapsesSameQubitRuns)
+{
+    // A long run of 1q gates on one qubit, interrupted by gates on
+    // other qubits (which must NOT flush it) and by a 2q gate on the
+    // qubit (which must).
+    ir::Circuit c(3);
+    c.h(0);
+    c.t(0);
+    c.rz(0.3, 0);
+    c.x(1); // different qubit: q0's run keeps fusing
+    c.sx(0);
+    c.cx(0, 2); // flushes q0 and q2
+    c.h(0);
+    c.rz(-1.1, 0);
+    sim::StateVector fast(3);
+    sim::StateVector ref(3);
+    fast.apply(c);
+    ref.applyGeneric(c);
+    expectClose(fast, ref, 1e-12, "fused run");
+}
+
+TEST(StatevectorKernels, FusedDiagonalRunsStayDiagonal)
+{
+    // An all-diagonal run fuses into one diagonal: still exact on the
+    // amplitudes a diagonal never mixes (only the touched ones see
+    // reassociated phase products).
+    ir::Circuit c(2);
+    c.rz(0.25, 0);
+    c.t(0);
+    c.z(0);
+    c.u1(0.75, 0);
+    sim::StateVector fast = randomState(2, 31);
+    sim::StateVector ref = fast;
+    fast.apply(c);
+    ref.applyGeneric(c);
+    expectClose(fast, ref, 1e-12, "fused diagonal");
+}
+
+TEST(StatevectorKernels, SingleGateRunsKeepExactKernels)
+{
+    // Runs of length one re-dispatch to the specialized kernel, so a
+    // circuit of isolated diagonal/permutation gates is bit-exact even
+    // through the fused + blocked path.
+    ir::Circuit c(15); // 2^15 amplitudes = 8 cache blocks
+    c.x(0);
+    c.z(3);
+    c.cx(0, 14);
+    c.s(14);
+    c.swap(1, 13);
+    c.cz(0, 12);
+    c.t(7);
+    c.ccx(2, 9, 14);
+    sim::StateVector fast = randomState(15, 77);
+    sim::StateVector ref = fast;
+    fast.apply(c);
+    ref.applyGeneric(c);
+    expectBitIdentical(fast, ref, "isolated exact gates");
+}
+
+TEST(StatevectorKernels, MultiBlockCircuitMatchesGeneric)
+{
+    // 15 qubits: high-qubit gates (block-crossing strides), low-qubit
+    // gates (block-local), and diagonals on both ends of the register
+    // exercise the chunk-base high-bit resolution.
+    support::Rng rng(41);
+    for (ir::GateSetKind set :
+         {ir::GateSetKind::IbmEagle, ir::GateSetKind::IonQ}) {
+        const ir::Circuit c =
+            testutil::randomNativeCircuit(set, 15, 120, rng);
+        sim::StateVector fast(15);
+        sim::StateVector ref(15);
+        fast.apply(c);
+        ref.applyGeneric(c);
+        expectClose(fast, ref, 1e-12, "multi-block");
+    }
+}
+
+TEST(StatevectorKernels, GateAndCircuitApplyAgree)
+{
+    support::Rng rng(51);
+    const ir::Circuit c = testutil::randomNativeCircuit(
+        ir::GateSetKind::CliffordT, 9, 80, rng);
+    sim::StateVector whole(9);
+    whole.apply(c);
+    sim::StateVector stepped(9);
+    for (const ir::Gate &g : c.gates())
+        stepped.apply(g);
+    expectClose(whole, stepped, 1e-12, "gate-by-gate");
+}
+
+// --- SIMD policy plumbing ---------------------------------------------
+
+TEST(StatevectorKernels, BackendNameIsSane)
+{
+    const std::string name = sim::kernels::backendName();
+    EXPECT_TRUE(name == "avx2" || name == "neon" || name == "scalar")
+        << name;
+    PolicyGuard guard(sim::kernels::SimdPolicy::ForceScalar);
+    EXPECT_STREQ(sim::kernels::backendName(), "scalar");
+}
+
+TEST(StatevectorKernels, ScalarAndSimdAgree)
+{
+    support::Rng rng(61);
+    const ir::Circuit c = testutil::randomNativeCircuit(
+        ir::GateSetKind::Ibmq20, 10, 100, rng);
+    sim::StateVector simd(10);
+    {
+        PolicyGuard guard(sim::kernels::SimdPolicy::Auto);
+        simd.apply(c);
+    }
+    sim::StateVector scalar(10);
+    {
+        PolicyGuard guard(sim::kernels::SimdPolicy::ForceScalar);
+        scalar.apply(c);
+    }
+    expectClose(simd, scalar, 1e-12, "simd vs scalar");
+}
+
+// --- sampling verification stays deterministic ------------------------
+
+TEST(StatevectorKernels, SamplingVerifyDeterministicAcrossThreads)
+{
+    // A width where the kernel path blocks and fuses for real; the
+    // fixed-seed estimate must not depend on the worker count.
+    support::Rng rng(71);
+    const ir::Circuit a = testutil::randomNativeCircuit(
+        ir::GateSetKind::IbmEagle, 13, 80, rng);
+    ir::Circuit b = a;
+    b.rz(0.05, 5);
+    const verify::EquivalenceChecker *sampling =
+        verify::CheckerRegistry::global().find("sampling");
+    ASSERT_NE(sampling, nullptr);
+    verify::VerifyRequest req;
+    req.shots = 33;
+    req.seed = 123;
+    req.threads = 1;
+    const verify::VerifyReport serial = sampling->run(a, b, req);
+    req.threads = 4;
+    const verify::VerifyReport parallel = sampling->run(a, b, req);
+    EXPECT_EQ(serial.distanceEstimate, parallel.distanceEstimate);
+    EXPECT_EQ(serial.bound, parallel.bound);
+}
+
+// --- width assertions (formerly UB) -----------------------------------
+
+TEST(StatevectorKernelsDeathTest, ProbabilityIndexOutOfRangePanics)
+{
+    sim::StateVector sv(3);
+    EXPECT_DEATH(sv.probability(8), "out of range");
+}
+
+TEST(StatevectorKernelsDeathTest, InnerProductWidthMismatchPanics)
+{
+    sim::StateVector a(3);
+    sim::StateVector b(4);
+    EXPECT_DEATH(a.innerProduct(b), "width mismatch");
+}
+
+TEST(StatevectorKernelsDeathTest, CircuitWidthMismatchPanics)
+{
+    sim::StateVector sv(3);
+    const ir::Circuit c(4);
+    EXPECT_DEATH(sv.apply(c), "3");
+}
+
+} // namespace
+} // namespace guoq
