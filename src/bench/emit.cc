@@ -282,6 +282,81 @@ toBatchJson(const BatchRunMeta &meta,
     return out;
 }
 
+int
+serveRowCode(const std::string &status)
+{
+    if (status == "ok" || status == "verify_skipped")
+        return 0;
+    if (status == "parse_error")
+        return 1;
+    if (status == "verify_failed")
+        return 2;
+    if (status == "write_error")
+        return 3;
+    if (status == "frame_error")
+        return 4;
+    return 5;
+}
+
+std::string
+toServeRowJson(const BatchFileEntry &e, const std::string &qasm)
+{
+    std::string out;
+    auto str = [&out](const char *key, const std::string &v) {
+        out += ", \"";
+        out += key;
+        out += "\": \"";
+        out += jsonEscape(v);
+        out += "\"";
+    };
+    auto num = [&out](const char *key, const std::string &v) {
+        out += ", \"";
+        out += key;
+        out += "\": ";
+        out += v;
+    };
+    out += "{\"schema\": \"guoq-serve-row-v1\"";
+    str("id", e.file);
+    str("status", e.status);
+    num("code", std::to_string(serveRowCode(e.status)));
+    str("dialect", e.dialect);
+    str("algorithm", e.algorithm);
+    if (e.status == "ok" || e.status == "verify_skipped") {
+        num("qubits", std::to_string(e.qubits));
+        num("gates_before", std::to_string(e.gatesBefore));
+        num("gates_after", std::to_string(e.gatesAfter));
+        num("twoq_before", std::to_string(e.twoQubitBefore));
+        num("twoq_after", std::to_string(e.twoQubitAfter));
+        num("error_bound", jsonNumber(e.errorBound));
+        num("synth_cache_hits", std::to_string(e.synthCacheHits));
+        num("synth_cache_misses", std::to_string(e.synthCacheMisses));
+        num("synth_cache_stores", std::to_string(e.synthCacheStores));
+        num("pool_queue_peak", std::to_string(e.poolQueuePeak));
+        if (!e.message.empty())
+            str("message", e.message);
+    } else {
+        num("line", std::to_string(e.line));
+        num("col", std::to_string(e.col));
+        str("message", e.message);
+    }
+    if (e.verified) {
+        out += ", \"verify\": {\"method\": \"";
+        out += jsonEscape(e.verifyMethod);
+        out += "\", \"distance\": " + jsonNumber(e.verifyDistance);
+        out += ", \"bound\": " + jsonNumber(e.verifyBound);
+        out += ", \"confidence\": " + jsonNumber(e.verifyConfidence);
+        out += ", \"shots\": " + std::to_string(e.verifyShots);
+        out += ", \"verdict\": \"";
+        out += jsonEscape(e.verifyVerdict);
+        out += "\"}";
+    }
+    num("seconds", jsonNumber(e.seconds));
+    if (e.status == "ok" || e.status == "verify_skipped")
+        str("qasm", qasm);
+    out += "}";
+    return out;
+}
+
 std::string
 toCsv(const std::vector<CaseResult> &results)
 {

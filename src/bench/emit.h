@@ -144,6 +144,26 @@ struct BatchRunMeta
 std::string toBatchJson(const BatchRunMeta &meta,
                         const std::vector<BatchFileEntry> &files);
 
+/**
+ * Numeric per-row status for serve rows: 0 for the ok-shaped
+ * statuses ("ok", "verify_skipped" — a result was produced), nonzero
+ * for failures (1 parse_error, 2 verify_failed, 3 write_error,
+ * 4 frame_error, 5 anything else). Stable: codes are only ever added.
+ */
+int serveRowCode(const std::string &status);
+
+/**
+ * One `guoq-serve-v1` response row (schema "guoq-serve-row-v1"): the
+ * BatchFileEntry fields of `guoq-batch-v1`, reused key-for-key on a
+ * single line — `id` in place of `file`, plus the numeric `code` and,
+ * on ok-shaped rows, the optimized program inline as `qasm` (a serve
+ * request has no output tree to write into). No trailing newline; the
+ * writer thread adds the row-delimiting "\n". Schema reference:
+ * docs/FORMATS.md.
+ */
+std::string toServeRowJson(const BatchFileEntry &e,
+                           const std::string &qasm);
+
 /** JSON string escaping (quotes, backslashes, control characters). */
 std::string jsonEscape(const std::string &s);
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -56,16 +57,46 @@ makeCancelToken()
  * (and the portfolio between slices) and return their current best
  * when it is set. One-shot deterministic passes (the fixed-sequence
  * baselines) check it only on entry.
+ *
+ * `deadline` is an optional absolute stop time (set with
+ * setDeadlineIn(); hasDeadline gates it): every cancelled() poll site
+ * treats an expired deadline exactly like a set cancel token, so a
+ * driver enforcing per-request deadlines — the serve pipeline — rides
+ * the same cooperative path with no watchdog thread. Unlike the
+ * request's timeBudgetSeconds (which each slice re-derives), the
+ * deadline is one fixed instant covering the whole run.
  */
 struct ObserverHooks
 {
     std::function<void(const ProgressEvent &)> onBest;
     CancelToken cancel;
+    std::chrono::steady_clock::time_point deadline{};
+    bool hasDeadline = false;
+
+    /** Arm the deadline @p seconds from now. */
+    void
+    setDeadlineIn(double seconds)
+    {
+        hasDeadline = true;
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(seconds));
+    }
+
+    /** True once the armed deadline has passed (false when unarmed). */
+    bool
+    deadlineExpired() const
+    {
+        return hasDeadline &&
+               std::chrono::steady_clock::now() >= deadline;
+    }
 
     bool
     cancelled() const
     {
-        return cancel && cancel->load(std::memory_order_relaxed);
+        return (cancel && cancel->load(std::memory_order_relaxed)) ||
+               deadlineExpired();
     }
 };
 

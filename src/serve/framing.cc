@@ -1,0 +1,271 @@
+#include "serve/framing.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace guoq {
+namespace serve {
+
+namespace {
+
+/** True iff @p line is a `request` header (resync anchor). */
+bool
+isRequestLine(const std::string &line)
+{
+    return line == "request" || line.rfind("request ", 0) == 0;
+}
+
+/** Strict u64 parse: rejects empty, sign, and trailing garbage. */
+bool
+parseU64(const std::string &v, std::uint64_t &out)
+{
+    if (v.empty() || v[0] == '-' || v[0] == '+')
+        return false;
+    char *end = nullptr;
+    const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+    if (!end || *end != '\0')
+        return false;
+    out = static_cast<std::uint64_t>(x);
+    return true;
+}
+
+/** Strict double parse with the same rejection rules. */
+bool
+parseDouble(const std::string &v, double &out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    const double x = std::strtod(v.c_str(), &end);
+    if (!end || *end != '\0')
+        return false;
+    out = x;
+    return true;
+}
+
+/** A bounded, printable excerpt of @p line for diagnostics. */
+std::string
+excerpt(const std::string &line)
+{
+    constexpr std::size_t kMax = 40;
+    std::string out;
+    for (std::size_t i = 0; i < line.size() && i < kMax; ++i) {
+        const unsigned char c =
+            static_cast<unsigned char>(line[i]);
+        out += (c >= 0x20 && c < 0x7f) ? line[i] : '?';
+    }
+    if (line.size() > kMax)
+        out += "...";
+    return out;
+}
+
+} // namespace
+
+FrameReader::FrameReader(std::istream &in, std::size_t maxPayload)
+    : in_(in), maxPayload_(maxPayload ? maxPayload : 1)
+{
+}
+
+bool
+FrameReader::getLine(std::string &out)
+{
+    if (!std::getline(in_, out))
+        return false;
+    ++lineNo_;
+    if (!out.empty() && out.back() == '\r')
+        out.pop_back();
+    return true;
+}
+
+/**
+ * Record @p message as the pending error, then skip forward to the
+ * next `request` header so the following next() call starts in sync.
+ */
+FrameReader::Status
+FrameReader::fail(FrameError &error, int line, const std::string &id,
+                  const std::string &message)
+{
+    error.line = line;
+    error.id = id;
+    error.message = message;
+    std::string skipped;
+    while (getLine(skipped)) {
+        if (isRequestLine(skipped)) {
+            havePending_ = true;
+            pending_ = skipped;
+            pendingLine_ = lineNo_;
+            break;
+        }
+    }
+    return Status::Error;
+}
+
+FrameReader::Status
+FrameReader::next(Frame &frame, FrameError &error)
+{
+    frame = Frame();
+    error = FrameError();
+
+    // 1. The `request` header — from the resync buffer, or the next
+    //    non-empty line (blank lines between frames are tolerated).
+    std::string header;
+    int headerLine = 0;
+    if (havePending_) {
+        header = pending_;
+        headerLine = pendingLine_;
+        havePending_ = false;
+    } else {
+        for (;;) {
+            if (!getLine(header))
+                return Status::Eof;
+            if (!header.empty())
+                break;
+        }
+        headerLine = lineNo_;
+    }
+    if (!isRequestLine(header))
+        return fail(error, headerLine, "",
+                    "expected 'request <id>', got '" +
+                        excerpt(header) + "'");
+
+    std::istringstream tokens(header);
+    std::string keyword, id;
+    tokens >> keyword >> id;
+    if (id.empty())
+        return fail(error, headerLine, "",
+                    "request header is missing an id");
+    frame.id = id;
+    frame.line = headerLine;
+    std::string kv;
+    while (tokens >> kv) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return fail(error, headerLine, id,
+                        "malformed request option '" + excerpt(kv) +
+                            "' (expected key=value)");
+        const std::string key = kv.substr(0, eq);
+        const std::string value = kv.substr(eq + 1);
+        if (key == "seed") {
+            if (!parseU64(value, frame.seed))
+                return fail(error, headerLine, id,
+                            "seed expects an unsigned integer, got '" +
+                                excerpt(value) + "'");
+            frame.hasSeed = true;
+        } else if (key == "deadline-ms") {
+            double ms = 0;
+            if (!parseDouble(value, ms) || !(ms > 0) || ms > 1e9)
+                return fail(error, headerLine, id,
+                            "deadline-ms expects a value in (0, 1e9], "
+                            "got '" + excerpt(value) + "'");
+            frame.deadlineMs = ms;
+            frame.hasDeadline = true;
+        } else {
+            // Unknown keys are refused, not skipped: silently ignoring
+            // a mistyped `sed=7` would run the request with the wrong
+            // settings and no one would know.
+            return fail(error, headerLine, id,
+                        "unknown request option '" + excerpt(key) +
+                            "' (known: seed, deadline-ms)");
+        }
+    }
+
+    // 2. The `payload <nbytes>` line, immediately after the header.
+    std::string sizeLine;
+    if (!getLine(sizeLine))
+        return fail(error, lineNo_, id,
+                    "EOF mid-frame: missing 'payload <nbytes>' line");
+    std::uint64_t nbytes = 0;
+    {
+        std::istringstream st(sizeLine);
+        std::string pk, pv, extra;
+        st >> pk >> pv;
+        if (pk != "payload" || !parseU64(pv, nbytes) || (st >> extra))
+            return fail(error, lineNo_, id,
+                        "expected 'payload <nbytes>', got '" +
+                            excerpt(sizeLine) + "'");
+    }
+    if (nbytes > maxPayload_) {
+        // Skip the declared bytes so the stream stays in sync and the
+        // next frame parses; the refusal itself is the error row.
+        const int at = lineNo_;
+        std::uint64_t left = nbytes;
+        char buf[4096];
+        while (left > 0 && in_) {
+            const std::size_t chunk = static_cast<std::size_t>(
+                left < sizeof buf ? left : sizeof buf);
+            in_.read(buf, static_cast<std::streamsize>(chunk));
+            const std::streamsize got = in_.gcount();
+            for (std::streamsize i = 0; i < got; ++i)
+                lineNo_ += buf[i] == '\n' ? 1 : 0;
+            left -= static_cast<std::uint64_t>(got);
+            if (got == 0)
+                break;
+        }
+        std::string tail;
+        if (getLine(tail) && tail.empty())
+            getLine(tail);
+        // `tail` should now be "end"; if the skip lost sync anyway,
+        // the next next() resynchronizes at a request header.
+        return fail(error, at, id,
+                    "payload of " + std::to_string(nbytes) +
+                        " bytes exceeds the " +
+                        std::to_string(maxPayload_) + "-byte cap");
+    }
+
+    // 3. Exactly nbytes of raw payload.
+    frame.payload.resize(static_cast<std::size_t>(nbytes));
+    if (nbytes > 0) {
+        in_.read(frame.payload.data(),
+                 static_cast<std::streamsize>(nbytes));
+        const std::streamsize got = in_.gcount();
+        for (std::streamsize i = 0; i < got; ++i)
+            lineNo_ += frame.payload[static_cast<std::size_t>(i)] == '\n'
+                           ? 1
+                           : 0;
+        if (static_cast<std::uint64_t>(got) != nbytes)
+            return fail(error, lineNo_, id,
+                        "payload truncated: got " +
+                            std::to_string(got) + " of " +
+                            std::to_string(nbytes) +
+                            " bytes (EOF mid-frame)");
+    }
+
+    // 4. The `end` trailer (one blank line tolerated so payloads with
+    //    and without a trailing newline both frame cleanly).
+    std::string trailer;
+    if (!getLine(trailer))
+        return fail(error, lineNo_, id,
+                    "EOF mid-frame: missing 'end' after payload");
+    if (trailer.empty() && !getLine(trailer))
+        return fail(error, lineNo_, id,
+                    "EOF mid-frame: missing 'end' after payload");
+    if (trailer != "end")
+        return fail(error, lineNo_, id,
+                    "expected 'end' after the declared " +
+                        std::to_string(nbytes) + " payload bytes, got '" +
+                        excerpt(trailer) +
+                        "' (byte count out of step?)");
+    return Status::Frame;
+}
+
+void
+writeFrame(std::ostream &out, const Frame &frame)
+{
+    out << "request " << frame.id;
+    if (frame.hasSeed)
+        out << " seed=" << frame.seed;
+    if (frame.hasDeadline)
+        out << " deadline-ms=" << frame.deadlineMs;
+    out << "\npayload " << frame.payload.size() << "\n";
+    out << frame.payload;
+    if (frame.payload.empty() || frame.payload.back() != '\n')
+        out << "\n";
+    out << "end\n";
+}
+
+} // namespace serve
+} // namespace guoq

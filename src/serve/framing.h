@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The `guoq-serve-v1` request framing `guoq_cli --serve` reads from
+ * its input stream (the full wire contract lives in docs/FORMATS.md).
+ *
+ * One frame is a line-oriented envelope around a raw QASM payload:
+ *
+ *   request <id> [seed=<u64>] [deadline-ms=<ms>]\n
+ *   payload <nbytes>\n
+ *   <exactly nbytes bytes of OpenQASM 2.0/3.x>\n
+ *   end\n
+ *
+ * The reader never aborts and never wedges on bad input: a malformed
+ * header, an oversized payload, truncated payload bytes, garbage
+ * between frames, or EOF mid-frame each come back as one located
+ * FrameError, after which the reader resynchronizes at the next
+ * `request` header line and keeps serving. That per-frame error is the
+ * server's error row; the process stays up.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace guoq {
+namespace serve {
+
+/** One parsed `guoq-serve-v1` request frame. */
+struct Frame
+{
+    std::string id;      //!< client-chosen token, echoed on the row
+    std::string payload; //!< raw QASM source
+    std::uint64_t seed = 0; //!< valid iff hasSeed
+    bool hasSeed = false;   //!< frame overrides the server's --seed
+    double deadlineMs = 0;  //!< valid iff hasDeadline
+    bool hasDeadline = false; //!< frame overrides --deadline-ms
+    int line = 0;        //!< 1-based input line of the `request` header
+};
+
+/** A located framing failure (one error row's worth of context). */
+struct FrameError
+{
+    int line = 0;        //!< 1-based input line the failure was seen on
+    std::string id;      //!< request id when the header parsed, else ""
+    std::string message;
+};
+
+/**
+ * Incremental frame parser over an input stream. Tracks 1-based line
+ * numbers for located errors and resynchronizes after failures.
+ */
+class FrameReader
+{
+  public:
+    /** Frames whose `payload <nbytes>` exceeds this are refused (the
+     *  bytes are skipped, the stream stays in sync). 8 MiB holds any
+     *  plausible QASM circuit while bounding a bad frame's memory. */
+    static constexpr std::size_t kDefaultMaxPayload = 8u << 20;
+
+    explicit FrameReader(std::istream &in,
+                         std::size_t maxPayload = kDefaultMaxPayload);
+
+    /** Outcome of one next() call. */
+    enum class Status
+    {
+        Frame, //!< @p frame holds a complete request
+        Error, //!< @p error holds a located failure; keep calling
+        Eof,   //!< input exhausted cleanly
+    };
+
+    /**
+     * Parse the next frame. On Error the reader has already skipped to
+     * the next `request` header (or EOF), so the caller can loop on
+     * next() until Eof without ever stalling on bad input.
+     */
+    Status next(Frame &frame, FrameError &error);
+
+    /** Lines consumed so far (diagnostic). */
+    int line() const { return lineNo_; }
+
+  private:
+    bool getLine(std::string &out);
+    Status fail(FrameError &error, int line, const std::string &id,
+                const std::string &message);
+
+    std::istream &in_;
+    std::size_t maxPayload_;
+    int lineNo_ = 0;        //!< lines fully consumed
+    bool havePending_ = false;
+    std::string pending_;   //!< a `request` header found during resync
+    int pendingLine_ = 0;
+};
+
+/**
+ * Serialize @p frame in the exact format FrameReader parses (byte
+ * count from payload.size(); a missing trailing newline is added
+ * before the `end` line, which the reader tolerates). The test
+ * harness and clients both build streams with this.
+ */
+void writeFrame(std::ostream &out, const Frame &frame);
+
+} // namespace serve
+} // namespace guoq

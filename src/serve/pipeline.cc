@@ -1,0 +1,56 @@
+#include "serve/pipeline.h"
+
+#include "support/logging.h"
+
+namespace guoq {
+namespace serve {
+
+Credits::Credits(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+}
+
+void
+Credits::acquire()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return out_ < capacity_; });
+    ++out_;
+    if (out_ > peak_)
+        peak_ = out_;
+}
+
+void
+Credits::release()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (out_ == 0)
+            support::panic("Credits::release without an acquire");
+        --out_;
+    }
+    cv_.notify_one();
+}
+
+std::size_t
+Credits::capacity() const
+{
+    return capacity_;
+}
+
+std::size_t
+Credits::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return out_;
+}
+
+std::size_t
+Credits::peak() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+}
+
+} // namespace serve
+} // namespace guoq

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Inter-thread plumbing for the streaming service tier: a credit
+ * semaphore that bounds the number of requests in flight anywhere in
+ * the pipeline, and a bounded, closeable FIFO connecting its stages.
+ *
+ * The pipeline is the fastp-style reader → workers → writer shape:
+ * the reader acquires one credit per admitted request (blocking when
+ * all credits are out — backpressure propagates to the input stream),
+ * stages hand items through BoundedQueues, and the writer returns the
+ * credit after the request's result row has left the process. The
+ * invariant the harness asserts is `inFlight() <= capacity` at every
+ * instant, with `peak()` as the witness.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace guoq {
+namespace serve {
+
+/**
+ * A counting semaphore over "requests in flight", with a high-water
+ * mark. acquire() blocks while all credits are out; release() returns
+ * one. The pair brackets a request's whole pipeline lifetime —
+ * admission by the reader to emission by the writer — so the bound
+ * covers queued and in-service items alike, not just one queue.
+ */
+class Credits
+{
+  public:
+    explicit Credits(std::size_t capacity);
+
+    Credits(const Credits &) = delete;
+    Credits &operator=(const Credits &) = delete;
+
+    /** Take one credit, blocking until one is available. */
+    void acquire();
+
+    /** Return one credit (panics on a release without an acquire). */
+    void release();
+
+    std::size_t capacity() const;
+
+    /** Credits currently out. */
+    std::size_t inFlight() const;
+
+    /** Most credits ever out at once. */
+    std::size_t peak() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::size_t capacity_;
+    std::size_t out_ = 0;
+    std::size_t peak_ = 0;
+};
+
+/**
+ * A bounded FIFO connecting two pipeline stages. push() blocks while
+ * the queue is at capacity (a backstop — with credit accounting in
+ * front, occupancy never exceeds the credit cap anyway). close()
+ * refuses further pushes but lets consumers drain what is queued:
+ * pop() returns false only once the queue is both closed and empty,
+ * which is exactly the drain-on-EOF shutdown order the server needs.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity ? capacity : 1)
+    {
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Enqueue @p item, blocking while full. Returns false (item
+     * dropped) when the queue is closed.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_push_.wait(lock, [this] {
+            return closed_ || queue_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        queue_.push_back(std::move(item));
+        if (queue_.size() > peak_)
+            peak_ = queue_.size();
+        cv_pop_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue into @p out, blocking while empty. Returns false once
+     * the queue is closed *and* drained.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_pop_.wait(lock,
+                     [this] { return closed_ || !queue_.empty(); });
+        if (queue_.empty())
+            return false;
+        out = std::move(queue_.front());
+        queue_.pop_front();
+        cv_push_.notify_one();
+        return true;
+    }
+
+    /** Refuse further pushes; wake every waiter. Queued items remain
+     *  poppable (drain semantics). */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        cv_push_.notify_all();
+        cv_pop_.notify_all();
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return queue_.size();
+    }
+
+    /** Most items ever queued at once. */
+    std::size_t
+    peak() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return peak_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_push_;
+    std::condition_variable cv_pop_;
+    std::deque<T> queue_;
+    std::size_t capacity_;
+    std::size_t peak_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace serve
+} // namespace guoq

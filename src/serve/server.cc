@@ -1,0 +1,445 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "qasm/parser.h"
+#include "qasm/printer.h"
+#include "serve/pipeline.h"
+#include "support/logging.h"
+
+namespace guoq {
+namespace serve {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** The dialect results are emitted in for an input parsed as @p in. */
+qasm::Dialect
+outputDialect(const Config &cfg, qasm::Dialect in)
+{
+    return cfg.outDialect == qasm::Dialect::Auto ? in : cfg.outDialect;
+}
+
+/** An error entry for a framing failure: located on the serve input
+ *  stream (entry.line is the input line, col has no meaning). */
+bench::BatchFileEntry
+frameErrorEntry(const FrameError &err, const Config &cfg)
+{
+    bench::BatchFileEntry e;
+    e.file = err.id;
+    e.status = "frame_error";
+    e.algorithm = cfg.algorithm;
+    e.line = err.line;
+    e.col = 0;
+    e.message = err.message;
+    return e;
+}
+
+/** One response row, ready for the writer thread. */
+struct Row
+{
+    std::string json;
+    bool ok = false;      //!< code 0
+    std::string id;       //!< progress-line context
+    std::string status;
+    double seconds = 0;
+};
+
+Row
+rowFor(const bench::BatchFileEntry &entry, const std::string &qasm)
+{
+    Row row;
+    row.json = bench::toServeRowJson(entry, qasm);
+    row.ok = bench::serveRowCode(entry.status) == 0;
+    row.id = entry.file;
+    row.status = entry.status;
+    row.seconds = entry.seconds;
+    return row;
+}
+
+// --- batch-mode directory walking (moved from tools/guoq_cli.cc so
+// --- both drivers share one pipeline) --------------------------------
+
+/** Canonical form for containment tests: resolves `.`/`..`, relative
+ *  spellings, and symlinked prefixes where they exist. */
+fs::path
+canonicalish(const fs::path &p)
+{
+    std::error_code ec;
+    fs::path c = fs::weakly_canonical(p, ec);
+    return ec ? p.lexically_normal() : c;
+}
+
+/** True when @p p lives under the directory whose *canonicalized*
+ *  form is @p canonRoot. */
+bool
+isUnder(const fs::path &p, const fs::path &canonRoot)
+{
+    const fs::path rel = canonicalish(p).lexically_relative(canonRoot);
+    return !rel.empty() && rel.native() != ".." && *rel.begin() != "..";
+}
+
+} // namespace
+
+Outcome
+processSource(const std::string &id, const std::string &source,
+              const Config &cfg, const std::uint64_t *seedOverride,
+              const double *deadlineMsOverride)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    Outcome o;
+    bench::BatchFileEntry &e = o.entry;
+    e.file = id;
+    e.algorithm = cfg.algorithm;
+
+    qasm::ParseResult pr = qasm::parseSource(source, cfg.inDialect, id);
+    e.dialect = qasm::dialectName(pr.dialect);
+    if (!pr.ok) {
+        e.status = "parse_error";
+        e.line = pr.error.line;
+        e.col = pr.error.col;
+        e.message = pr.error.message;
+        e.seconds = secondsSince(t0);
+        return o;
+    }
+
+    const ir::Circuit &input = pr.circuit;
+    o.dialect = pr.dialect;
+    e.qubits = input.numQubits();
+    e.gatesBefore = input.size();
+    e.twoQubitBefore = input.twoQubitGateCount();
+
+    core::OptimizeRequest req = cfg.base;
+    if (seedOverride)
+        req.seed = *seedOverride;
+    // Per-request observation: the server-wide shutdown token (so a
+    // drain cancels in-flight searches cooperatively) plus this
+    // request's own deadline, both riding the observer-hook path every
+    // search loop already polls.
+    req.hooks = core::ObserverHooks();
+    req.hooks.cancel = cfg.shutdown;
+    const double deadlineMs =
+        deadlineMsOverride ? *deadlineMsOverride : cfg.deadlineMs;
+    if (deadlineMs > 0)
+        req.hooks.setDeadlineIn(deadlineMs / 1000.0);
+
+    const core::OptimizeReport result = cfg.optimizer->run(input, req);
+    e.gatesAfter = result.circuit.size();
+    e.twoQubitAfter = result.circuit.twoQubitGateCount();
+    e.errorBound = result.errorBound;
+    e.synthCacheHits = result.stats.synthCacheHits;
+    e.synthCacheMisses = result.stats.synthCacheMisses;
+    e.synthCacheStores = result.stats.synthCacheStores;
+    e.poolQueuePeak = result.stats.poolQueuePeak;
+    // An anytime search cut short by its deadline still returns its
+    // best-so-far circuit — a valid, verified result — so the row
+    // stays ok-shaped; the note keeps the truncation visible.
+    if (deadlineMs > 0 && req.hooks.deadlineExpired())
+        e.message = support::strcat("deadline of ", deadlineMs,
+                                    " ms expired; best-so-far result");
+
+    bool verify_skipped = false;
+    if (cfg.verify) {
+        verify::VerifyRequest vreq = cfg.verifyBase;
+        vreq.seed = req.seed;
+        const std::string err =
+            cfg.checker->checkRequest(input, result.circuit, vreq);
+        if (!err.empty()) {
+            verify_skipped = true;
+            e.message = "verify skipped: " + err;
+        } else {
+            const verify::VerifyReport vr =
+                cfg.checker->run(input, result.circuit, vreq);
+            e.verified = true;
+            e.verifyMethod = vr.method;
+            e.verifyDistance = vr.distanceEstimate;
+            e.verifyBound = vr.bound;
+            e.verifyConfidence = vr.confidence;
+            e.verifyShots = vr.shots;
+            e.verifyVerdict = verify::verdictName(vr.verdict);
+            if (vr.verdict == verify::Verdict::Inequivalent) {
+                e.status = "verify_failed";
+                e.message = support::strcat(
+                    "verification failed: HS distance ",
+                    vr.distanceEstimate, " (", vr.method, ", bound ",
+                    vr.bound, ") exceeds budget ", cfg.base.epsilonTotal);
+                e.seconds = secondsSince(t0);
+                return o;
+            }
+        }
+    }
+
+    e.status = verify_skipped ? "verify_skipped" : "ok";
+    o.haveCircuit = true;
+    o.circuit = result.circuit;
+    e.seconds = secondsSince(t0);
+    return o;
+}
+
+ServeStats
+runServe(std::istream &in, std::ostream &out, const Config &cfg)
+{
+    // One work item: a parsed frame, or a framing failure that only
+    // needs its error row emitted.
+    struct Item
+    {
+        Frame frame;
+        bench::BatchFileEntry preError;
+        bool bad = false;
+    };
+
+    ServeStats stats;
+    Credits credits(cfg.capacity);
+    BoundedQueue<Item> workQ(cfg.capacity);
+    BoundedQueue<Row> writeQ(cfg.capacity);
+
+    std::thread writer([&] {
+        Row row;
+        while (writeQ.pop(row)) {
+            if (out) {
+                out << row.json << '\n';
+                out.flush();
+            }
+            if (!out)
+                stats.outputOk = false;
+            ++stats.rows;
+            stats.okRows += row.ok ? 1 : 0;
+            if (!cfg.quiet) {
+                std::lock_guard<std::mutex> lock(support::logMutex());
+                std::fprintf(stderr,
+                             "guoq_cli: [%zu] %s: %s (%.2fs)\n",
+                             stats.rows, row.id.c_str(),
+                             row.status.c_str(), row.seconds);
+            }
+            credits.release();
+        }
+    });
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(cfg.jobs));
+    for (int j = 0; j < cfg.jobs; ++j)
+        workers.emplace_back([&] {
+            Item item;
+            while (workQ.pop(item)) {
+                Row row;
+                if (item.bad) {
+                    row = rowFor(item.preError, "");
+                } else {
+                    const Frame &f = item.frame;
+                    const Outcome o = processSource(
+                        f.id, f.payload, cfg,
+                        f.hasSeed ? &f.seed : nullptr,
+                        f.hasDeadline ? &f.deadlineMs : nullptr);
+                    row = rowFor(
+                        o.entry,
+                        o.haveCircuit
+                            ? qasm::toQasm(o.circuit,
+                                           outputDialect(cfg, o.dialect))
+                            : "");
+                }
+                writeQ.push(std::move(row));
+            }
+        });
+
+    // The calling thread is the reader: admission is credit-gated, so
+    // when cfg.capacity requests are in flight this blocks *before*
+    // consuming more input — backpressure the client can feel.
+    FrameReader reader(in, cfg.maxPayload);
+    const auto shutdownRequested = [&cfg] {
+        return cfg.shutdown &&
+               cfg.shutdown->load(std::memory_order_relaxed);
+    };
+    while (!shutdownRequested()) {
+        credits.acquire();
+        Item item;
+        FrameError err;
+        const FrameReader::Status st = reader.next(item.frame, err);
+        if (st == FrameReader::Status::Eof) {
+            credits.release();
+            break;
+        }
+        if (st == FrameReader::Status::Error) {
+            item.bad = true;
+            item.preError = frameErrorEntry(err, cfg);
+            ++stats.frameErrors;
+        } else {
+            ++stats.frames;
+        }
+        workQ.push(std::move(item));
+    }
+
+    // Drain-on-EOF/shutdown: stop admitting, let workers finish every
+    // queued item, then let the writer flush every finished row.
+    workQ.close();
+    for (std::thread &w : workers)
+        w.join();
+    writeQ.close();
+    writer.join();
+    stats.peakInFlight = credits.peak();
+    return stats;
+}
+
+BatchResult
+runBatch(const std::string &rootDir, const std::string &outDir,
+         const Config &cfg)
+{
+    const fs::path root(rootDir);
+    const fs::path outRoot(outDir);
+    const fs::path outCanon = canonicalish(outRoot);
+
+    BatchResult result;
+    Credits credits(cfg.capacity);
+    BoundedQueue<fs::path> workQ(cfg.capacity);
+    BoundedQueue<bench::BatchFileEntry> doneQ(cfg.capacity);
+
+    // The collector is the batch pipeline's "writer": it owns the
+    // entries vector and the per-file progress lines (one thread, one
+    // line at a time, under the process-wide log mutex — concurrent
+    // jobs can no longer interleave mid-line), and returns each
+    // file's credit once its entry is recorded.
+    std::thread collector([&] {
+        bench::BatchFileEntry e;
+        std::size_t done = 0;
+        while (doneQ.pop(e)) {
+            ++done;
+            if (!cfg.quiet) {
+                std::lock_guard<std::mutex> lock(support::logMutex());
+                if (e.status == "ok")
+                    std::fprintf(stderr,
+                                 "guoq_cli: [%zu] %s: ok (%zu -> %zu "
+                                 "gates, %.2fs)\n",
+                                 done, e.file.c_str(), e.gatesBefore,
+                                 e.gatesAfter, e.seconds);
+                else
+                    std::fprintf(stderr,
+                                 "guoq_cli: [%zu] %s: %s (%s)\n", done,
+                                 e.file.c_str(), e.status.c_str(),
+                                 e.message.c_str());
+            }
+            result.entries.push_back(std::move(e));
+            credits.release();
+        }
+    });
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(cfg.jobs));
+    for (int j = 0; j < cfg.jobs; ++j)
+        workers.emplace_back([&] {
+            fs::path in;
+            while (workQ.pop(in)) {
+                const auto t0 = std::chrono::steady_clock::now();
+                const fs::path rel = in.lexically_relative(root);
+                const std::string id = rel.generic_string();
+
+                std::ifstream src(in);
+                bench::BatchFileEntry e;
+                Outcome o;
+                if (!src) {
+                    // Mirror qasm::parseSourceFile's unreadable-file
+                    // diagnostic (no position applies).
+                    e.file = id;
+                    e.status = "parse_error";
+                    e.dialect = qasm::dialectName(
+                        cfg.inDialect == qasm::Dialect::Auto
+                            ? qasm::Dialect::Qasm2
+                            : cfg.inDialect);
+                    e.algorithm = cfg.algorithm;
+                    e.message = "cannot open file";
+                } else {
+                    std::ostringstream buf;
+                    buf << src.rdbuf();
+                    o = processSource(id, buf.str(), cfg);
+                    e = o.entry;
+                }
+
+                if (o.haveCircuit) {
+                    const fs::path outPath = outRoot / rel;
+                    std::error_code ec;
+                    fs::create_directories(outPath.parent_path(), ec);
+                    std::ofstream dst(outPath);
+                    if (dst) {
+                        dst << qasm::toQasm(
+                            o.circuit, outputDialect(cfg, o.dialect));
+                        // close() forces the flush so a full disk
+                        // surfaces here, not in the destructor where
+                        // the failure would be invisible.
+                        dst.close();
+                    }
+                    if (!dst) {
+                        e.status = "write_error";
+                        e.message =
+                            "cannot write " + outPath.generic_string();
+                        e.output.clear();
+                    } else {
+                        e.output = outPath.generic_string();
+                    }
+                }
+                e.seconds = secondsSince(t0);
+                doneQ.push(std::move(e));
+            }
+        });
+
+    // The calling thread is the reader — a directory walker feeding
+    // files into the pipeline as it finds them. The output tree is
+    // excluded so a nested --out-dir (or a rerun over the same
+    // directory) does not re-optimize its own results; the
+    // non-throwing iterator overloads keep a directory vanishing
+    // mid-scan a reported failure, never an uncaught exception.
+    std::error_code ec;
+    auto it = fs::recursive_directory_iterator(
+        root, fs::directory_options::skip_permission_denied, ec);
+    while (!ec && it != fs::recursive_directory_iterator()) {
+        std::error_code entry_ec;
+        if (it->is_directory(entry_ec) && isUnder(it->path(), outCanon)) {
+            it.disable_recursion_pending();
+        } else if (!entry_ec && it->is_regular_file(entry_ec) &&
+                   !entry_ec && it->path().extension() == ".qasm" &&
+                   !isUnder(it->path(), outCanon)) {
+            credits.acquire();
+            workQ.push(it->path());
+        }
+        it.increment(ec);
+    }
+    if (ec) {
+        result.scanOk = false;
+        result.scanError = ec.message();
+    }
+
+    workQ.close();
+    for (std::thread &w : workers)
+        w.join();
+    doneQ.close();
+    collector.join();
+    result.peakInFlight = credits.peak();
+
+    // Completion order is nondeterministic with --jobs > 1; the
+    // summary contract (docs/FORMATS.md) is one entry per file sorted
+    // by path.
+    std::sort(result.entries.begin(), result.entries.end(),
+              [](const bench::BatchFileEntry &a,
+                 const bench::BatchFileEntry &b) {
+                  return a.file < b.file;
+              });
+    return result;
+}
+
+} // namespace serve
+} // namespace guoq

@@ -13,23 +13,35 @@ LogLevel g_level = LogLevel::Quiet;
 LogLevel logLevel() { return g_level; }
 void setLogLevel(LogLevel level) { g_level = level; }
 
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
 void
 inform(const std::string &msg)
 {
-    if (g_level >= LogLevel::Info)
+    if (g_level >= LogLevel::Info) {
+        std::lock_guard<std::mutex> lock(logMutex());
         std::fprintf(stderr, "info: %s\n", msg.c_str());
+    }
 }
 
 void
 debugLog(const std::string &msg)
 {
-    if (g_level >= LogLevel::Debug)
+    if (g_level >= LogLevel::Debug) {
+        std::lock_guard<std::mutex> lock(logMutex());
         std::fprintf(stderr, "debug: %s\n", msg.c_str());
+    }
 }
 
 void
 warn(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 

@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -17,6 +18,15 @@ enum class LogLevel { Quiet, Info, Debug };
 /** Global log level; benches lower it, tests keep it quiet. */
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
+
+/**
+ * The process-wide mutex serializing human-readable stderr status
+ * output. warn()/inform() take it internally; drivers that print
+ * their own per-item status lines from concurrent workers (the
+ * batch/serve pipelines' progress output) must hold it for each whole
+ * line so output can never interleave mid-line.
+ */
+std::mutex &logMutex();
 
 /** Print an informational message when level permits. */
 void inform(const std::string &msg);

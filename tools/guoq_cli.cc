@@ -23,33 +23,45 @@
  * that file failed (with a file:line:col diagnostic) but never aborts
  * the rest of the suite.
  *
+ * Serve mode turns the process into a long-lived optimization service:
+ *
+ *   guoq_cli --serve --jobs 4 --capacity 64 --deadline-ms 5000
+ *
+ * `guoq-serve-v1` frames are read from stdin (docs/FORMATS.md), each
+ * request is optimized by a worker pool sharing the process-wide
+ * synthesis cache, and one `guoq-serve-row-v1` JSON line per request
+ * streams to stdout as it finishes. Admission is credit-bounded
+ * (--capacity), per-request deadlines are cooperative, and EOF or
+ * SIGTERM/SIGINT drains in-flight requests before exit. Batch mode
+ * rides the same pipeline (src/serve/), so files start optimizing as
+ * the directory walk discovers them.
+ *
  * Exit codes: 0 success; 1 runtime failure (parse/verify errors, or a
  * batch with failed files unless --keep-going); 2 usage errors. The
  * full CLI contract lives in README.md and docs/FORMATS.md.
  */
 
-#include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "bench/emit.h"
+#include "core/observer.h"
 #include "core/optimizer.h"
 #include "core/portfolio.h"
 #include "ir/gate_set.h"
 #include "qasm/parser.h"
 #include "qasm/printer.h"
+#include "serve/server.h"
 #include "support/logging.h"
 #include "support/table.h"
 #include "synth/service.h"
@@ -84,12 +96,28 @@ usage(const char *argv0)
         "                   excludes --in/--out\n"
         "  --out-dir DIR    output root mirroring the input tree\n"
         "                   (default: <batch-dir>-opt)\n"
-        "  --jobs N         files optimized concurrently (default 1;\n"
-        "                   total worker threads = jobs x threads)\n"
+        "  --jobs N         requests optimized concurrently (batch and\n"
+        "                   serve; default 1; total worker threads =\n"
+        "                   jobs x threads)\n"
         "  --keep-going     exit 0 even when some files fail (failures\n"
         "                   still reported per file and in the summary)\n"
         "  --summary FILE   guoq-batch-v1 JSON summary path, - for\n"
         "                   stdout (default <out-dir>/summary.json)\n"
+        "\n"
+        "serve mode:\n"
+        "  --serve          optimize guoq-serve-v1 frames from stdin,\n"
+        "                   streaming one guoq-serve-row-v1 JSON line\n"
+        "                   per request to stdout as it finishes\n"
+        "                   (framing/row schema: docs/FORMATS.md);\n"
+        "                   excludes --in/--out/--batch\n"
+        "  --capacity N     max requests in flight between admission\n"
+        "                   and emission; the reader blocks when all\n"
+        "                   credits are out (batch and serve;\n"
+        "                   default 64)\n"
+        "  --deadline-ms D  default per-request deadline, cooperative:\n"
+        "                   an expired request returns its best-so-far\n"
+        "                   result (batch and serve; frames may\n"
+        "                   override; default: none)\n"
         "\n"
         "optimization:\n"
         "  --algorithm A    optimizer to run (default guoq); see\n"
@@ -239,6 +267,9 @@ struct CliOptions
     int synthWorkers = 0;
     std::string synthCacheDir;
     int jobs = 1;
+    bool serveMode = false;
+    std::size_t capacity = 64;
+    double deadlineMs = 0;
     bool keepGoing = false;
     bool verify = false;
     std::string verifyMethod = "auto";
@@ -288,6 +319,28 @@ struct CliOptions
     }
 };
 
+/** The pipeline configuration (serve/server.h) these options
+ *  describe; both --serve and --batch run on it. */
+serve::Config
+makeConfig(const CliOptions &opt)
+{
+    serve::Config cfg;
+    cfg.set = opt.set;
+    cfg.inDialect = opt.inDialect;
+    cfg.outDialect = opt.outDialect;
+    cfg.algorithm = opt.algorithm;
+    cfg.optimizer = opt.optimizer;
+    cfg.base = opt.request();
+    cfg.verify = opt.verify;
+    cfg.checker = opt.checker;
+    cfg.verifyBase = opt.verifyRequest();
+    cfg.jobs = opt.jobs;
+    cfg.capacity = opt.capacity;
+    cfg.deadlineMs = opt.deadlineMs;
+    cfg.quiet = opt.quiet;
+    return cfg;
+}
+
 /** --list-algorithms: the registry, self-described. */
 void
 listAlgorithms()
@@ -304,14 +357,6 @@ listAlgorithms()
     }
 }
 
-double
-secondsSince(const std::chrono::steady_clock::time_point &t0)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
-}
-
 /** The output dialect for an input parsed as @p in. */
 qasm::Dialect
 outputDialect(const CliOptions &opt, qasm::Dialect in)
@@ -320,126 +365,6 @@ outputDialect(const CliOptions &opt, qasm::Dialect in)
 }
 
 // --- batch mode ------------------------------------------------------
-
-/** Canonical form for containment tests: resolves `.`/`..`, relative
- *  spellings, and symlinked prefixes where they exist. */
-fs::path
-canonicalish(const fs::path &p)
-{
-    std::error_code ec;
-    fs::path c = fs::weakly_canonical(p, ec);
-    return ec ? p.lexically_normal() : c;
-}
-
-/** True when @p p lives under the directory whose *canonicalized*
- *  form is @p canonRoot (canonicalize the root once, not per call —
- *  it costs filesystem stats). */
-bool
-isUnder(const fs::path &p, const fs::path &canonRoot)
-{
-    const fs::path rel = canonicalish(p).lexically_relative(canonRoot);
-    return !rel.empty() && rel.native() != ".." &&
-           *rel.begin() != "..";
-}
-
-/**
- * Optimize one discovered file; never aborts — every failure mode
- * comes back as a status in the entry.
- */
-bench::BatchFileEntry
-processFile(const fs::path &in, const fs::path &root,
-            const fs::path &outRoot, const CliOptions &opt)
-{
-    const auto t0 = std::chrono::steady_clock::now();
-    const fs::path rel = in.lexically_relative(root);
-    bench::BatchFileEntry e;
-    e.file = rel.generic_string();
-
-    qasm::ParseResult pr =
-        qasm::parseSourceFile(in.string(), opt.inDialect);
-    e.dialect = qasm::dialectName(pr.dialect);
-    e.algorithm = opt.algorithm;
-    if (!pr.ok) {
-        e.status = "parse_error";
-        e.line = pr.error.line;
-        e.col = pr.error.col;
-        e.message = pr.error.message;
-        e.seconds = secondsSince(t0);
-        return e;
-    }
-
-    const ir::Circuit &input = pr.circuit;
-    e.qubits = input.numQubits();
-    e.gatesBefore = input.size();
-    e.twoQubitBefore = input.twoQubitGateCount();
-
-    const core::OptimizeReport result =
-        opt.optimizer->run(input, opt.request());
-    e.gatesAfter = result.circuit.size();
-    e.twoQubitAfter = result.circuit.twoQubitGateCount();
-    e.errorBound = result.errorBound;
-    e.synthCacheHits = result.stats.synthCacheHits;
-    e.synthCacheMisses = result.stats.synthCacheMisses;
-    e.synthCacheStores = result.stats.synthCacheStores;
-    e.poolQueuePeak = result.stats.poolQueuePeak;
-
-    // Verification dispatches through the checker registry: `auto`
-    // covers every width the sampling backend can hold, so a skip is
-    // the exception (e.g. > 24 qubits) and is always recorded as a
-    // visible `verify_skipped` status, never a silent pass.
-    bool verify_skipped = false;
-    if (opt.verify) {
-        const verify::VerifyRequest vreq = opt.verifyRequest();
-        const std::string err =
-            opt.checker->checkRequest(input, result.circuit, vreq);
-        if (!err.empty()) {
-            verify_skipped = true;
-            e.message = "verify skipped: " + err;
-        } else {
-            const verify::VerifyReport vr =
-                opt.checker->run(input, result.circuit, vreq);
-            e.verified = true;
-            e.verifyMethod = vr.method;
-            e.verifyDistance = vr.distanceEstimate;
-            e.verifyBound = vr.bound;
-            e.verifyConfidence = vr.confidence;
-            e.verifyShots = vr.shots;
-            e.verifyVerdict = verify::verdictName(vr.verdict);
-            if (vr.verdict == verify::Verdict::Inequivalent) {
-                e.status = "verify_failed";
-                e.message = support::strcat(
-                    "verification failed: HS distance ",
-                    vr.distanceEstimate, " (", vr.method, ", bound ",
-                    vr.bound, ") exceeds budget ",
-                    opt.cfg.base.epsilonTotal);
-                e.seconds = secondsSince(t0);
-                return e;
-            }
-        }
-    }
-
-    const fs::path outPath = outRoot / rel;
-    std::error_code ec;
-    fs::create_directories(outPath.parent_path(), ec);
-    std::ofstream out(outPath);
-    if (out) {
-        out << qasm::toQasm(result.circuit,
-                            outputDialect(opt, pr.dialect));
-        // close() forces the flush so a full disk surfaces here, not
-        // in the destructor where the failure would be invisible.
-        out.close();
-    }
-    if (!out) {
-        e.status = "write_error";
-        e.message = "cannot write " + outPath.generic_string();
-        e.seconds = secondsSince(t0);
-        return e;
-    }
-    e.status = verify_skipped ? "verify_skipped" : "ok";
-    e.output = outPath.generic_string();
-    e.seconds = secondsSince(t0);
-    return e;
-}
 
 int
 runBatch(const CliOptions &opt)
@@ -455,86 +380,28 @@ runBatch(const CliOptions &opt)
     const fs::path outRoot = opt.outDir.empty()
                                  ? fs::path(root.string() + "-opt")
                                  : fs::path(opt.outDir);
-    const fs::path outCanon = canonicalish(outRoot);
-
-    // Discover the suite. The output tree is excluded so that a
-    // nested --out-dir (or a rerun over the same directory) does not
-    // re-optimize its own results. Iteration uses the non-throwing
-    // overloads throughout: a directory vanishing mid-scan (another
-    // process cleaning up) must surface as a reported failure, never
-    // an uncaught exception.
-    std::vector<fs::path> files;
-    auto it = fs::recursive_directory_iterator(
-        root, fs::directory_options::skip_permission_denied, ec);
-    while (!ec && it != fs::recursive_directory_iterator()) {
-        std::error_code entry_ec;
-        if (it->is_directory(entry_ec) &&
-            isUnder(it->path(), outCanon)) {
-            it.disable_recursion_pending();
-        } else if (!entry_ec && it->is_regular_file(entry_ec) &&
-                   !entry_ec && it->path().extension() == ".qasm" &&
-                   !isUnder(it->path(), outCanon)) {
-            files.push_back(it->path());
-        }
-        it.increment(ec);
-    }
-    if (ec)
-        fail("--batch: cannot scan " + opt.batchDir + ": " +
-             ec.message());
-    std::sort(files.begin(), files.end());
-    if (files.empty())
-        die("--batch: no .qasm files under " + opt.batchDir);
 
     if (!opt.quiet)
         std::fprintf(stderr,
-                     "guoq_cli: batch of %zu file(s) from %s -> %s, "
-                     "algorithm %s, %d job(s) x %d thread(s), %gs per "
-                     "file\n",
-                     files.size(), root.generic_string().c_str(),
+                     "guoq_cli: batch from %s -> %s, algorithm %s, "
+                     "%d job(s) x %d thread(s), %gs per file\n",
+                     root.generic_string().c_str(),
                      outRoot.generic_string().c_str(),
                      opt.algorithm.c_str(), opt.jobs, opt.cfg.threads,
                      opt.cfg.base.timeBudgetSeconds);
 
-    // Worker pool: --jobs files in flight, each running its own
-    // --threads portfolio.
-    std::vector<bench::BatchFileEntry> entries(files.size());
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::mutex io;
-    auto work = [&] {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= files.size())
-                return;
-            entries[i] = processFile(files[i], root, outRoot, opt);
-            const std::size_t n = done.fetch_add(1) + 1;
-            if (!opt.quiet) {
-                const bench::BatchFileEntry &e = entries[i];
-                std::lock_guard<std::mutex> lock(io);
-                if (e.status == "ok")
-                    std::fprintf(stderr,
-                                 "guoq_cli: [%zu/%zu] %s: ok (%zu -> "
-                                 "%zu gates, %.2fs)\n",
-                                 n, files.size(), e.file.c_str(),
-                                 e.gatesBefore, e.gatesAfter,
-                                 e.seconds);
-                else
-                    std::fprintf(stderr,
-                                 "guoq_cli: [%zu/%zu] %s: %s (%s)\n",
-                                 n, files.size(), e.file.c_str(),
-                                 e.status.c_str(),
-                                 e.message.c_str());
-            }
-        }
-    };
-    const int jobs = static_cast<int>(std::min<std::size_t>(
-        static_cast<std::size_t>(opt.jobs), files.size()));
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(jobs));
-    for (int j = 0; j < jobs; ++j)
-        pool.emplace_back(work);
-    for (std::thread &t : pool)
-        t.join();
+    // Streaming pipeline (serve/server.h): the directory walk feeds
+    // files into --jobs workers as it discovers them, bounded at
+    // --capacity files in flight, instead of load-everything-first.
+    const serve::BatchResult result = serve::runBatch(
+        root.generic_string(), outRoot.generic_string(),
+        makeConfig(opt));
+    if (!result.scanOk)
+        fail("--batch: cannot scan " + opt.batchDir + ": " +
+             result.scanError);
+    if (result.entries.empty())
+        die("--batch: no .qasm files under " + opt.batchDir);
+    const std::vector<bench::BatchFileEntry> &entries = result.entries;
 
     // Per-file status table (stderr keeps a batch's stdout clean for
     // the optional `--summary -` JSON stream).
@@ -639,6 +506,69 @@ runBatch(const CliOptions &opt)
                      failed, skipped);
     if (failed > 0 && !opt.keepGoing)
         return 1;
+    return 0;
+}
+
+// --- serve mode ------------------------------------------------------
+
+/** The flag the signal handler flips: the serve run's shutdown
+ *  CancelToken atomic (only async-signal-safe atomic stores happen in
+ *  the handler). */
+std::atomic<std::atomic<bool> *> g_shutdownFlag{nullptr};
+
+void
+handleShutdownSignal(int)
+{
+    if (std::atomic<bool> *flag =
+            g_shutdownFlag.load(std::memory_order_relaxed))
+        flag->store(true, std::memory_order_relaxed);
+}
+
+/** Route SIGTERM/SIGINT into the shutdown token. No SA_RESTART: the
+ *  signal must interrupt the reader's blocking stdin read so an idle
+ *  server drains and exits instead of waiting for the next frame. */
+void
+installShutdownHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = handleShutdownSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+int
+runServe(const CliOptions &opt)
+{
+    serve::Config cfg = makeConfig(opt);
+    cfg.shutdown = core::makeCancelToken();
+    g_shutdownFlag.store(cfg.shutdown.get());
+    installShutdownHandlers();
+
+    if (!opt.quiet)
+        std::fprintf(stderr,
+                     "guoq_cli: serving guoq-serve-v1 frames from "
+                     "stdin, algorithm %s, %d job(s) x %d thread(s), "
+                     "capacity %zu\n",
+                     opt.algorithm.c_str(), opt.jobs, opt.cfg.threads,
+                     cfg.capacity);
+
+    const serve::ServeStats stats =
+        serve::runServe(std::cin, std::cout, cfg);
+
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_shutdownFlag.store(nullptr);
+
+    if (!opt.quiet)
+        std::fprintf(stderr,
+                     "guoq_cli: served %zu row(s): %zu ok, %zu frame "
+                     "error(s), peak %zu request(s) in flight\n",
+                     stats.rows, stats.okRows, stats.frameErrors,
+                     stats.peakInFlight);
+    if (!stats.outputOk)
+        fail("cannot write response rows to stdout");
     return 0;
 }
 
@@ -778,6 +708,8 @@ main(int argc, char **argv)
     bool explicit_time = false;
     bool explicit_in = false;
     bool explicit_out = false;
+    bool explicit_capacity = false;
+    bool explicit_deadline = false;
 
     auto value = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -802,6 +734,22 @@ main(int argc, char **argv)
             opt.outDir = value(i);
         } else if (arg == "--summary") {
             opt.summaryPath = value(i);
+        } else if (arg == "--serve") {
+            opt.serveMode = true;
+        } else if (arg == "--capacity") {
+            const long n = parseLong(arg, value(i));
+            // The cap exists to bound memory (capacity x payload
+            // bytes can be resident); 2^20 is far past any sane
+            // pipeline depth but still a guard against typos.
+            if (n < 1 || n > (1L << 20))
+                die("--capacity must be in [1, 1048576]");
+            opt.capacity = static_cast<std::size_t>(n);
+            explicit_capacity = true;
+        } else if (arg == "--deadline-ms") {
+            opt.deadlineMs = parseDouble(arg, value(i));
+            if (!(opt.deadlineMs > 0) || opt.deadlineMs > 1e9)
+                die("--deadline-ms must be in (0, 1e9]");
+            explicit_deadline = true;
         } else if (arg == "--keep-going") {
             opt.keepGoing = true;
         } else if (arg == "--jobs") {
@@ -899,13 +847,23 @@ main(int argc, char **argv)
     }
 
     const bool batch = !opt.batchDir.empty();
+    if (opt.serveMode && batch)
+        die("--serve excludes --batch");
+    if (opt.serveMode && (explicit_in || explicit_out))
+        die("--serve frames requests over stdin/stdout; --in/--out "
+            "do not apply");
     if (batch && (explicit_in || explicit_out))
         die("--batch excludes --in/--out (use --out-dir)");
     if (!batch &&
         (!opt.outDir.empty() || !opt.summaryPath.empty() ||
-         opt.jobs != 1 || opt.keepGoing))
-        die("--out-dir/--summary/--jobs/--keep-going require --batch");
-    if (batch && opt.progress)
+         opt.keepGoing))
+        die("--out-dir/--summary/--keep-going require --batch");
+    if (!batch && !opt.serveMode && opt.jobs != 1)
+        die("--jobs requires --batch or --serve");
+    if (!batch && !opt.serveMode &&
+        (explicit_capacity || explicit_deadline))
+        die("--capacity/--deadline-ms require --batch or --serve");
+    if ((batch || opt.serveMode) && opt.progress)
         die("--progress requires single-file mode");
 
     // Resolve --algorithm against the registry and validate every
@@ -999,7 +957,9 @@ main(int argc, char **argv)
                          opt.synthCacheDir.c_str());
     }
 
-    const int rc = batch ? runBatch(opt) : runSingle(opt);
+    const int rc = opt.serveMode ? runServe(opt)
+                   : batch       ? runBatch(opt)
+                                 : runSingle(opt);
 
     if (!opt.synthCacheDir.empty()) {
         std::string err;
