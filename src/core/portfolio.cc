@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "support/mutex.h"
 #include "support/rng.h"
 #include "support/timer.h"
 
@@ -30,11 +30,11 @@ namespace {
  */
 struct SharedBest
 {
-    std::mutex mutex;
-    ir::Circuit circuit;
-    double cost = 0;
-    double error = 0;
-    int worker = 0;
+    support::Mutex mutex;
+    ir::Circuit circuit GUARDED_BY(mutex);
+    double cost GUARDED_BY(mutex) = 0;
+    double error GUARDED_BY(mutex) = 0;
+    int worker GUARDED_BY(mutex) = 0;
 
     /** Lock-free mirror of `cost` (updated inside the lock). */
     std::atomic<double> costFast{std::numeric_limits<double>::max()};
@@ -44,23 +44,35 @@ struct SharedBest
 
     // Progress events: a separate lock so a slow user callback never
     // stalls the circuit-exchange path, plus its own monotone best so
-    // forwarded events stay strictly decreasing portfolio-wide.
-    std::mutex eventMutex;
-    double eventBest = std::numeric_limits<double>::max();
+    // forwarded events stay strictly decreasing portfolio-wide. The
+    // two locks are never held together (reportBest never touches the
+    // exchange state), so no ordering between them can arise.
+    support::Mutex eventMutex;
+    double eventBest GUARDED_BY(eventMutex) =
+        std::numeric_limits<double>::max();
     std::atomic<double> eventBestFast{
         std::numeric_limits<double>::max()};
 
     void
     init(const ir::Circuit &c, double cost_c)
     {
-        circuit = c;
-        cost = cost_c;
-        error = 0;
-        worker = 0;
+        // Runs before any worker thread exists; the locks are
+        // uncontended and taken only to satisfy the static analysis's
+        // (correct) insistence that guarded fields stay guarded.
+        {
+            support::MutexLock lock(mutex);
+            circuit = c;
+            cost = cost_c;
+            error = 0;
+            worker = 0;
+        }
         costFast.store(cost_c, std::memory_order_release);
         // The input circuit is not an "improvement": only costs
         // strictly below it may be reported.
-        eventBest = cost_c;
+        {
+            support::MutexLock lock(eventMutex);
+            eventBest = cost_c;
+        }
         eventBestFast.store(cost_c, std::memory_order_release);
     }
 
@@ -73,7 +85,7 @@ struct SharedBest
         // never win; ties still need the lock for the ε rule.
         if (cost_c > costFast.load(std::memory_order_acquire))
             return;
-        std::lock_guard<std::mutex> lock(mutex);
+        support::MutexLock lock(mutex);
         if (cost_c < cost || (cost_c == cost && error_c < error)) {
             circuit = c;
             cost = cost_c;
@@ -101,7 +113,7 @@ struct SharedBest
         if (e == seen_epoch ||
             costFast.load(std::memory_order_acquire) >= cost_c)
             return false;
-        std::lock_guard<std::mutex> lock(mutex);
+        support::MutexLock lock(mutex);
         seen_epoch = epoch.load(std::memory_order_relaxed);
         if (cost >= cost_c)
             return false;
@@ -119,7 +131,7 @@ struct SharedBest
             return;
         if (ev.cost >= eventBestFast.load(std::memory_order_acquire))
             return;
-        std::lock_guard<std::mutex> lock(eventMutex);
+        support::MutexLock lock(eventMutex);
         if (ev.cost >= eventBest)
             return;
         eventBest = ev.cost;
@@ -356,10 +368,15 @@ optimizePortfolio(const ir::Circuit &c, ir::GateSetKind set,
     for (std::thread &t : pool)
         t.join();
 
-    result.best = std::move(shared.circuit);
-    result.bestCost = shared.cost;
-    result.errorBound = shared.error;
-    result.winningWorker = shared.worker;
+    {
+        // All workers have joined; the lock is uncontended and taken
+        // only so the guarded-field accesses stay provably guarded.
+        support::MutexLock lock(shared.mutex);
+        result.best = std::move(shared.circuit);
+        result.bestCost = shared.cost;
+        result.errorBound = shared.error;
+        result.winningWorker = shared.worker;
+    }
     for (PortfolioWorkerReport &r : reports)
         mergeStats(result.stats, r.stats);
     result.workers = std::move(reports);

@@ -13,8 +13,9 @@ Credits::Credits(std::size_t capacity)
 void
 Credits::acquire()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return out_ < capacity_; });
+    support::MutexLock lock(mutex_);
+    while (out_ >= capacity_)
+        cv_.wait(mutex_);
     ++out_;
     if (out_ > peak_)
         peak_ = out_;
@@ -24,7 +25,7 @@ void
 Credits::release()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        support::MutexLock lock(mutex_);
         if (out_ == 0)
             support::panic("Credits::release without an acquire");
         --out_;
@@ -41,14 +42,14 @@ Credits::capacity() const
 std::size_t
 Credits::inFlight() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     return out_;
 }
 
 std::size_t
 Credits::peak() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     return peak_;
 }
 

@@ -15,11 +15,11 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "support/mutex.h"
 
 namespace guoq {
 namespace serve {
@@ -54,11 +54,11 @@ class Credits
     std::size_t peak() const;
 
   private:
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    std::size_t capacity_;
-    std::size_t out_ = 0;
-    std::size_t peak_ = 0;
+    mutable support::Mutex mutex_;
+    support::CondVar cv_;
+    const std::size_t capacity_; //!< immutable after construction
+    std::size_t out_ GUARDED_BY(mutex_) = 0;
+    std::size_t peak_ GUARDED_BY(mutex_) = 0;
 };
 
 /**
@@ -88,10 +88,9 @@ class BoundedQueue
     bool
     push(T item)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_push_.wait(lock, [this] {
-            return closed_ || queue_.size() < capacity_;
-        });
+        support::MutexLock lock(mutex_);
+        while (!closed_ && queue_.size() >= capacity_)
+            cv_push_.wait(mutex_);
         if (closed_)
             return false;
         queue_.push_back(std::move(item));
@@ -108,9 +107,9 @@ class BoundedQueue
     bool
     pop(T &out)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_pop_.wait(lock,
-                     [this] { return closed_ || !queue_.empty(); });
+        support::MutexLock lock(mutex_);
+        while (!closed_ && queue_.empty())
+            cv_pop_.wait(mutex_);
         if (queue_.empty())
             return false;
         out = std::move(queue_.front());
@@ -125,7 +124,7 @@ class BoundedQueue
     close()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            support::MutexLock lock(mutex_);
             closed_ = true;
         }
         cv_push_.notify_all();
@@ -135,7 +134,7 @@ class BoundedQueue
     std::size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        support::MutexLock lock(mutex_);
         return queue_.size();
     }
 
@@ -143,18 +142,18 @@ class BoundedQueue
     std::size_t
     peak() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        support::MutexLock lock(mutex_);
         return peak_;
     }
 
   private:
-    mutable std::mutex mutex_;
-    std::condition_variable cv_push_;
-    std::condition_variable cv_pop_;
-    std::deque<T> queue_;
-    std::size_t capacity_;
-    std::size_t peak_ = 0;
-    bool closed_ = false;
+    mutable support::Mutex mutex_;
+    support::CondVar cv_push_;
+    support::CondVar cv_pop_;
+    std::deque<T> queue_ GUARDED_BY(mutex_);
+    const std::size_t capacity_; //!< immutable after construction
+    std::size_t peak_ GUARDED_BY(mutex_) = 0;
+    bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace serve

@@ -223,7 +223,7 @@ runServe(std::istream &in, std::ostream &out, const Config &cfg)
             ++stats.rows;
             stats.okRows += row.ok ? 1 : 0;
             if (!cfg.quiet) {
-                std::lock_guard<std::mutex> lock(support::logMutex());
+                support::MutexLock lock(support::logMutex());
                 std::fprintf(stderr,
                              "guoq_cli: [%zu] %s: %s (%.2fs)\n",
                              stats.rows, row.id.c_str(),
@@ -321,7 +321,7 @@ runBatch(const std::string &rootDir, const std::string &outDir,
         while (doneQ.pop(e)) {
             ++done;
             if (!cfg.quiet) {
-                std::lock_guard<std::mutex> lock(support::logMutex());
+                support::MutexLock lock(support::logMutex());
                 if (e.status == "ok")
                     std::fprintf(stderr,
                                  "guoq_cli: [%zu] %s: ok (%zu -> %zu "

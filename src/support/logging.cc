@@ -1,5 +1,6 @@
 #include "support/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,24 +8,36 @@ namespace guoq {
 namespace support {
 
 namespace {
-LogLevel g_level = LogLevel::Quiet;
+// Relaxed is enough: the level is a filter, not a synchronization
+// point — a racing setLogLevel() may lose or gain one message, never
+// corrupt state.
+std::atomic<LogLevel> g_level{LogLevel::Quiet};
 } // namespace
 
-LogLevel logLevel() { return g_level; }
-void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
 
-std::mutex &
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+Mutex &
 logMutex()
 {
-    static std::mutex mutex;
+    static Mutex mutex;
     return mutex;
 }
 
 void
 inform(const std::string &msg)
 {
-    if (g_level >= LogLevel::Info) {
-        std::lock_guard<std::mutex> lock(logMutex());
+    if (logLevel() >= LogLevel::Info) {
+        MutexLock lock(logMutex());
         std::fprintf(stderr, "info: %s\n", msg.c_str());
     }
 }
@@ -32,8 +45,8 @@ inform(const std::string &msg)
 void
 debugLog(const std::string &msg)
 {
-    if (g_level >= LogLevel::Debug) {
-        std::lock_guard<std::mutex> lock(logMutex());
+    if (logLevel() >= LogLevel::Debug) {
+        MutexLock lock(logMutex());
         std::fprintf(stderr, "debug: %s\n", msg.c_str());
     }
 }
@@ -41,7 +54,7 @@ debugLog(const std::string &msg)
 void
 warn(const std::string &msg)
 {
-    std::lock_guard<std::mutex> lock(logMutex());
+    MutexLock lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Annotated locking primitives: thin wrappers over std::mutex and
+ * std::condition_variable that carry the Clang thread-safety
+ * capability attributes (thread_annotations.h). libstdc++'s own types
+ * are unannotated, so the analysis cannot see them being locked; all
+ * mutex-protected state in this codebase uses these wrappers instead,
+ * and -Wthread-safety (the GUOQ_THREAD_SAFETY build) then proves every
+ * GUARDED_BY field is only touched under its lock.
+ *
+ * Waiting convention: CondVar::wait(Mutex&) is the only wait form, and
+ * call sites spell the predicate as an explicit `while (!P) wait;`
+ * loop in the locked scope — not as a lambda — so the guarded reads in
+ * P stay visible to the (function-local) analysis.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "support/thread_annotations.h"
+
+namespace guoq {
+namespace support {
+
+/** An annotated std::mutex. Prefer MutexLock over manual lock(). */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { m_.lock(); }
+    void unlock() RELEASE() { m_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex m_;
+};
+
+/** RAII lock on a Mutex (the annotated std::lock_guard). */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~MutexLock() RELEASE() { m_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &m_;
+};
+
+/**
+ * A condition variable waiting on a Mutex. wait() atomically releases
+ * the mutex and reacquires it before returning, exactly like
+ * std::condition_variable — the caller holds the lock across the call
+ * from the analysis's point of view, which is also the truth at every
+ * observable point.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Block until notified; @p m must be held (and stays held). */
+    void
+    wait(Mutex &m) REQUIRES(m)
+    {
+        // Adopt the already-held native mutex for the duration of the
+        // wait, then release() the guard so ownership stays with the
+        // caller's MutexLock. Lock state is unchanged at entry/exit,
+        // matching the REQUIRES annotation.
+        std::unique_lock<std::mutex> native(m.m_, std::adopt_lock);
+        cv_.wait(native);
+        native.release();
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace support
+} // namespace guoq

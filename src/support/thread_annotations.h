@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Clang thread-safety-analysis attribute wrappers, compiled to no-ops
+ * everywhere else (GCC has no equivalent attributes).
+ *
+ * The analysis (-Wthread-safety, promoted to an error by the
+ * GUOQ_THREAD_SAFETY CMake option) statically proves that every access
+ * to a GUARDED_BY field happens with its mutex held, that REQUIRES
+ * functions are only called under the named lock, and that ACQUIRE /
+ * RELEASE functions change lock state the way they claim. It only
+ * tracks types annotated as capabilities, so locking code must use
+ * support::Mutex / support::MutexLock / support::CondVar (mutex.h)
+ * rather than raw std::mutex — the std:: types carry no annotations
+ * under libstdc++ and are invisible to the analysis.
+ *
+ * Conventions (see docs/CONCURRENCY.md for the subsystem inventory):
+ *  - every field protected by a mutex is GUARDED_BY(that mutex);
+ *  - private helpers that expect the caller to hold a lock are
+ *    REQUIRES(it) instead of re-locking;
+ *  - functions that must NOT be called with a lock held (they take it
+ *    themselves and would self-deadlock) are EXCLUDES(it);
+ *  - TS_NO_ANALYSIS is a last resort for patterns the analysis cannot
+ *    follow, and each use carries a justifying comment.
+ */
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define GUOQ_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef GUOQ_THREAD_ANNOTATION
+#define GUOQ_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define CAPABILITY(x) GUOQ_THREAD_ANNOTATION(capability(x))
+
+/** Marks a RAII type that acquires in its ctor, releases in its dtor. */
+#define SCOPED_CAPABILITY GUOQ_THREAD_ANNOTATION(scoped_lockable)
+
+/** Field access requires holding the named mutex(es). */
+#define GUARDED_BY(x) GUOQ_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee access requires holding the named mutex(es). */
+#define PT_GUARDED_BY(x) GUOQ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** The caller must hold the named mutex(es) (exclusively). */
+#define REQUIRES(...) \
+    GUOQ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** The function acquires the named mutex(es) and returns holding. */
+#define ACQUIRE(...) \
+    GUOQ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** The function releases the named mutex(es). */
+#define RELEASE(...) \
+    GUOQ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** The function acquires on the given return value only. */
+#define TRY_ACQUIRE(...) \
+    GUOQ_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** The caller must NOT hold the named mutex(es) (anti-deadlock). */
+#define EXCLUDES(...) GUOQ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Declares which capability a mutex-returning function aliases. */
+#define RETURN_CAPABILITY(x) GUOQ_THREAD_ANNOTATION(lock_returned(x))
+
+/** Asserts (at analysis time) that the capability is already held. */
+#define ASSERT_CAPABILITY(x) \
+    GUOQ_THREAD_ANNOTATION(assert_capability(x))
+
+/** Opts one function out of the analysis. Use sparingly; justify. */
+#define TS_NO_ANALYSIS GUOQ_THREAD_ANNOTATION(no_thread_safety_analysis)

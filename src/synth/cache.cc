@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -117,7 +118,7 @@ CacheKeyHash::operator()(const CacheKey &k) const
 }
 
 SynthCache::SynthCache(std::size_t shard_count)
-    : shards_(new Shard[shard_count == 0 ? 1 : shard_count]),
+    : shards_(std::make_unique<Shard[]>(shard_count == 0 ? 1 : shard_count)),
       shardCount_(shard_count == 0 ? 1 : shard_count)
 {
 }
@@ -132,7 +133,7 @@ bool
 SynthCache::lookup(const CacheKey &key, CacheEntry *out) const
 {
     Shard &s = shardFor(key);
-    std::lock_guard<std::mutex> lock(s.mutex);
+    support::MutexLock lock(s.mutex);
     const auto it = s.map.find(key);
     if (it == s.map.end())
         return false;
@@ -144,7 +145,7 @@ bool
 SynthCache::store(const CacheKey &key, CacheEntry entry)
 {
     Shard &s = shardFor(key);
-    std::lock_guard<std::mutex> lock(s.mutex);
+    support::MutexLock lock(s.mutex);
     return s.map.emplace(key, std::move(entry)).second;
 }
 
@@ -153,7 +154,7 @@ SynthCache::size() const
 {
     std::size_t n = 0;
     for (std::size_t i = 0; i < shardCount_; ++i) {
-        std::lock_guard<std::mutex> lock(shards_[i].mutex);
+        support::MutexLock lock(shards_[i].mutex);
         n += shards_[i].map.size();
     }
     return n;
@@ -163,7 +164,7 @@ void
 SynthCache::clear()
 {
     for (std::size_t i = 0; i < shardCount_; ++i) {
-        std::lock_guard<std::mutex> lock(shards_[i].mutex);
+        support::MutexLock lock(shards_[i].mutex);
         shards_[i].map.clear();
     }
 }
@@ -283,7 +284,7 @@ SynthCache::save(const std::string &path, std::string *err) const
         out << kFileMagic << "\n";
         char buf[64];
         for (std::size_t i = 0; i < shardCount_; ++i) {
-            std::lock_guard<std::mutex> lock(shards_[i].mutex);
+            support::MutexLock lock(shards_[i].mutex);
             for (const auto &[key, entry] : shards_[i].map) {
                 const auto set = static_cast<ir::GateSetKind>(key.set);
                 // %.17g round-trips doubles exactly: warm runs must

@@ -14,12 +14,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "ir/circuit.h"
 #include "linalg/complex_matrix.h"
+#include "support/mutex.h"
 #include "synth/resynth.h"
 
 namespace guoq {
@@ -114,8 +114,9 @@ class SynthCache
   private:
     struct alignas(64) Shard
     {
-        mutable std::mutex mutex;
-        std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> map;
+        mutable support::Mutex mutex;
+        std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> map
+            GUARDED_BY(mutex);
     };
 
     Shard &shardFor(const CacheKey &key) const;

@@ -20,7 +20,7 @@ Pool::Pool(int workers, std::size_t queue_capacity)
 Pool::~Pool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        support::MutexLock lock(mutex_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -32,7 +32,7 @@ bool
 Pool::trySubmit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        support::MutexLock lock(mutex_);
         if (stop_ || queue_.size() >= capacity_)
             return false;
         queue_.push_back(std::move(task));
@@ -45,7 +45,7 @@ Pool::trySubmit(std::function<void()> task)
 std::size_t
 Pool::queuePeak() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     return peak_;
 }
 
@@ -55,8 +55,9 @@ Pool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            support::MutexLock lock(mutex_);
+            while (!stop_ && queue_.empty())
+                cv_.wait(mutex_);
             if (queue_.empty())
                 return; // stop_ and drained
             task = std::move(queue_.front());

@@ -9,13 +9,13 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.h"
 
 namespace guoq {
 namespace synth {
@@ -46,13 +46,16 @@ class Pool
   private:
     void workerLoop();
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
+    // mutex_ guards the queue state below; threads_ and capacity_ are
+    // written only in the constructor/destructor (no worker touches
+    // them) and need no lock.
+    mutable support::Mutex mutex_;
+    support::CondVar cv_;
+    std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
     std::vector<std::thread> threads_;
     std::size_t capacity_;
-    std::size_t peak_ = 0;
-    bool stop_ = false;
+    std::size_t peak_ GUARDED_BY(mutex_) = 0;
+    bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace synth

@@ -98,13 +98,17 @@ VerifyReport
 verifyEquivalence(const ir::Circuit &a, const ir::Circuit &b,
                   const VerifyRequest &req)
 {
+    // panic, not fatal: reaching here with an unknown method or an
+    // unrunnable request is a caller contract violation (front ends
+    // validate before dispatch), and library code on the --serve
+    // worker path must never turn a bad request into process exit.
     const EquivalenceChecker *c = CheckerRegistry::global().find(req.method);
     if (!c)
-        support::fatal("verifyEquivalence: unknown method '" +
+        support::panic("verifyEquivalence: unknown method '" +
                        req.method + "'");
     const std::string err = c->checkRequest(a, b, req);
     if (!err.empty())
-        support::fatal("verifyEquivalence: " + err);
+        support::panic("verifyEquivalence: " + err);
     return c->run(a, b, req);
 }
 

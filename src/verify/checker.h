@@ -172,9 +172,10 @@ class CheckerRegistry
 
 /**
  * One-call convenience: resolve @p req.method through
- * CheckerRegistry::global(), validate, and run. Fatal on an unknown
- * method or an unrunnable request (callers wanting a recoverable path
- * resolve the checker themselves and branch on checkRequest()).
+ * CheckerRegistry::global(), validate, and run. Panics on an unknown
+ * method or an unrunnable request — a caller contract violation, not
+ * a user error (callers wanting a recoverable path resolve the
+ * checker themselves and branch on checkRequest()).
  */
 VerifyReport verifyEquivalence(const ir::Circuit &a, const ir::Circuit &b,
                                const VerifyRequest &req);

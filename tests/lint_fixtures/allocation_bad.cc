@@ -1,0 +1,11 @@
+// Violates allocation: naked array new and malloc with no owning
+// container.
+#include <cstdlib>
+
+double *
+makeBuffers(int n)
+{
+    int *scratch = static_cast<int *>(std::malloc(sizeof(int) * 16));
+    (void)scratch;
+    return new double[static_cast<unsigned>(n)];
+}

@@ -1,0 +1,9 @@
+// Clean for allocation: make_unique owns the array ("never new
+// double[n] by hand"), plain new of a single object is allowed.
+#include <memory>
+
+std::unique_ptr<double[]>
+makeBuffer(int n)
+{
+    return std::make_unique<double[]>(static_cast<unsigned>(n));
+}

@@ -1,0 +1,13 @@
+// Violates determinism: three different global/wall-clock entropy
+// sources in what should be seeded-stream code.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned
+sampleSeed()
+{
+    std::srand(static_cast<unsigned>(std::time(nullptr)));
+    std::random_device entropy;
+    return entropy() ^ static_cast<unsigned>(std::rand());
+}

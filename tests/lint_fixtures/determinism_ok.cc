@@ -1,0 +1,10 @@
+// Clean for determinism: all randomness flows from an explicit seed
+// (std::rand and time(nullptr) appear only in this comment).
+#include <cstdint>
+
+std::uint64_t
+nextDraw(std::uint64_t &state)
+{
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+}

@@ -1,0 +1,13 @@
+// Violates docs: registers a bench case and a checker whose names
+// appear in no documentation file.
+struct CaseRegistrar
+{
+    CaseRegistrar(const char *, int);
+};
+struct CheckerInfo
+{
+    const char *name;
+};
+
+static CaseRegistrar kGhostCase("fig99/ghost", 0);
+static const CheckerInfo kGhostChecker{"ghost-checker"};

@@ -1,0 +1,13 @@
+// Clean for docs: every registered name below is listed in the docs
+// text the test supplies ("fig1" and "dense").
+struct CaseRegistrar
+{
+    CaseRegistrar(const char *, int);
+};
+struct CheckerInfo
+{
+    const char *name;
+};
+
+static CaseRegistrar kKnownCase("fig1", 0);
+static const CheckerInfo kKnownChecker{"dense"};

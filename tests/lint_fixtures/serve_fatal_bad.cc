@@ -1,0 +1,13 @@
+// Violates serve-fatal: kills the process on a bad request instead of
+// returning an error status.
+namespace support {
+[[noreturn]] void fatal(const char *msg);
+}
+
+int
+handleRequest(int gates)
+{
+    if (gates < 0)
+        support::fatal("negative gate count");
+    return gates;
+}

@@ -1,0 +1,14 @@
+// Clean for serve-fatal: a bad request becomes an error return ("a
+// fatal() here would kill every in-flight request"), not process
+// death.
+#include <string>
+
+bool
+handleRequest(int gates, std::string *err)
+{
+    if (gates < 0) {
+        *err = "negative gate count";
+        return false;
+    }
+    return true;
+}

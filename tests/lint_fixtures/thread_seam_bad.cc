@@ -1,0 +1,10 @@
+// Violates thread-seam: spawns and detaches a thread outside the
+// approved concurrency seams.
+#include <thread>
+
+void
+fireAndForget()
+{
+    std::thread worker([] {});
+    worker.detach();
+}

@@ -1,0 +1,11 @@
+// Clean for thread-seam: mentions threads only in comments and
+// diagnostics ("std::thread belongs in a seam"), never as code.
+#include <functional>
+
+void
+runInline(const std::function<void()> &task)
+{
+    // A real implementation would submit to synth::Pool; no thread is
+    // created here.
+    task();
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * guoq_lint — the repo-specific static checker. Scans src/ tools/
+ * bench/ under the given repo root (default: the current directory)
+ * with the rules in src/lint/lint.h and prints findings as
+ * `file:line: [rule] message`, one per line. Exits 0 on a clean tree,
+ * 1 when any rule fires, 2 on usage errors or an unreadable tree.
+ *
+ *     guoq_lint [--list-rules] [repo-root]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "lint/lint.h"
+
+namespace {
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(to, "usage: guoq_lint [--list-rules] [repo-root]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    bool listRules = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            listRules = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "guoq_lint: unknown option %s\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        } else {
+            root = arg;
+        }
+    }
+
+    if (listRules) {
+        for (const guoq::lint::RuleInfo &r : guoq::lint::ruleCatalog())
+            std::printf("%-12s %s\n", r.name.c_str(),
+                        r.summary.c_str());
+        return 0;
+    }
+
+    std::string err;
+    const std::vector<guoq::lint::Finding> findings =
+        guoq::lint::lintTree(root, &err);
+    if (!err.empty()) {
+        std::fprintf(stderr, "guoq_lint: %s\n", err.c_str());
+        return 2;
+    }
+    for (const guoq::lint::Finding &f : findings)
+        std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+    if (!findings.empty()) {
+        std::fprintf(stderr, "guoq_lint: %zu finding(s)\n",
+                     findings.size());
+        return 1;
+    }
+    return 0;
+}
