@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Perf trajectory of the rewrite hot path: iterations/sec of a
+ * GUOQ-style Metropolis rewrite loop (2q-count objective) under two
+ * tools — `legacy` (applyRulePassRandom: fresh Matcher + full-circuit
+ * rebuild + full-cost rescan per attempt) and `engine` (the
+ * incremental rewrite::RewriteEngine: persistent DAG, kind-indexed
+ * anchor buckets, delta-cost counters) — at three circuit sizes, with
+ * per-size speedup aggregates. Both tools replay the identical
+ * decision sequence (same RNG draws, bit-identical costs), so the run
+ * doubles as an end-to-end differential check: the
+ * `engine_matches_legacy` guard row is 1 only when the final circuits
+ * are gate-for-gate equal.
+ *
+ * The PR-010 acceptance criterion (>= 5x iterations/sec at the
+ * largest size) is measured here as the `rewrite_throughput` case of
+ * guoq-bench-v1 (BENCH_008.json); methodology in docs/PERFORMANCE.md.
+ * Iteration counts scale with --scale so the CI smoke run (0.05)
+ * finishes in seconds while artifact runs exercise long loops.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/registry.h"
+#include "core/cost.h"
+#include "ir/circuit.h"
+#include "ir/gate_set.h"
+#include "rewrite/applier.h"
+#include "rewrite/engine.h"
+#include "rewrite/rule.h"
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace guoq;
+using namespace guoq::bench;
+
+/** A random circuit over the IBM Eagle native set (Rz, SX, X, CX). */
+ir::Circuit
+randomEagleCircuit(int num_qubits, int num_gates, support::Rng &rng)
+{
+    const std::vector<ir::GateKind> &kinds =
+        ir::nativeGates(ir::GateSetKind::IbmEagle);
+    ir::Circuit c(num_qubits);
+    for (int i = 0; i < num_gates; ++i) {
+        const ir::GateKind kind = kinds[rng.index(kinds.size())];
+        if (ir::gateArity(kind) == 2) {
+            const int a = static_cast<int>(
+                rng.index(static_cast<std::size_t>(num_qubits)));
+            int b = a;
+            while (b == a)
+                b = static_cast<int>(
+                    rng.index(static_cast<std::size_t>(num_qubits)));
+            c.add(kind, {a, b});
+            continue;
+        }
+        const int q = static_cast<int>(
+            rng.index(static_cast<std::size_t>(num_qubits)));
+        std::vector<double> params;
+        for (int p = 0; p < ir::gateParamCount(kind); ++p)
+            params.push_back(rng.uniform(-M_PI, M_PI));
+        c.add(kind, {q}, std::move(params));
+    }
+    return c;
+}
+
+struct LoopOutcome
+{
+    double seconds = 0;
+    long accepted = 0;
+    ir::Circuit final_;
+};
+
+/** Shared Metropolis decision (the GUOQ accept rule, temperature 10). */
+bool
+decide(double cost_cand, double cost_curr, support::Rng &rng)
+{
+    if (cost_cand <= cost_curr)
+        return true;
+    const double p =
+        std::exp(-10.0 * cost_cand / std::max(cost_curr, 1e-12));
+    return rng.chance(p);
+}
+
+/** The pre-engine loop: one full Matcher + rebuild + rescan per try. */
+LoopOutcome
+runLegacyLoop(const ir::Circuit &c,
+              const std::vector<rewrite::RewriteRule> &rules,
+              const core::CostFunction &cost, long iters,
+              std::uint64_t seed)
+{
+    LoopOutcome out;
+    support::Rng rng(seed);
+    const support::Timer timer;
+    ir::Circuit curr = c;
+    double cost_curr = cost(curr);
+    for (long i = 0; i < iters; ++i) {
+        const rewrite::RewriteRule &rule = rules[rng.index(rules.size())];
+        rewrite::PassResult r =
+            rewrite::applyRulePassRandom(curr, rule, rng);
+        if (r.applications == 0)
+            continue;
+        const double cost_cand = cost(r.circuit);
+        if (!decide(cost_cand, cost_curr, rng))
+            continue;
+        curr = std::move(r.circuit);
+        cost_curr = cost_cand;
+        ++out.accepted;
+    }
+    out.seconds = timer.seconds();
+    out.final_ = std::move(curr);
+    return out;
+}
+
+/** The same loop through the incremental engine (same RNG draws). */
+LoopOutcome
+runEngineLoop(const ir::Circuit &c,
+              const std::vector<rewrite::RewriteRule> &rules,
+              const core::CostFunction &cost, long iters,
+              std::uint64_t seed)
+{
+    LoopOutcome out;
+    support::Rng rng(seed);
+    const support::Timer timer;
+    rewrite::RewriteEngine engine{ir::Circuit(c)};
+    double cost_curr = cost.fromCounts(engine.counts());
+    for (long i = 0; i < iters; ++i) {
+        const rewrite::RewriteRule &rule = rules[rng.index(rules.size())];
+        auto att = engine.preparePassRandom(rule, rng);
+        if (!att)
+            continue;
+        const double cost_cand = cost.fromCounts(att->counts);
+        if (!decide(cost_cand, cost_curr, rng)) {
+            engine.discard();
+            continue;
+        }
+        engine.commit();
+        cost_curr = cost_cand;
+        ++out.accepted;
+    }
+    out.seconds = timer.seconds();
+    out.final_ = engine.release();
+    return out;
+}
+
+std::string
+fmt(const char *spec, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, spec, v);
+    return buf;
+}
+
+void
+runRewriteThroughput(CaseContext &ctx)
+{
+    if (ctx.pretty())
+        std::printf("=== Rewrite engine: Metropolis loop iterations/sec "
+                    "vs the legacy pass ===\n\n");
+
+    const ir::GateSetKind set = ir::GateSetKind::IbmEagle;
+    const std::vector<rewrite::RewriteRule> &rules = rewrite::rulesFor(set);
+    const core::CostFunction cost(core::Objective::TwoQubitCount, set);
+
+    struct Size
+    {
+        int qubits;
+        int gates;
+    };
+    const std::vector<Size> sizes = {{8, 64}, {12, 256}, {16, 1024}};
+    const long iters = std::max<long>(
+        200, static_cast<long>(4000.0 * ctx.opts().scale));
+
+    support::TextTable table({"case", "tool", "iters/s", "speedup",
+                              "matches legacy"});
+
+    for (const Size &sz : sizes) {
+        support::Rng build_rng(700 + static_cast<std::uint64_t>(sz.gates));
+        const ir::Circuit c =
+            randomEagleCircuit(sz.qubits, sz.gates, build_rng);
+        const std::string bench =
+            support::strcat("rewrite_", sz.qubits, "q_", sz.gates, "g");
+
+        double best_legacy = 0;
+        double best_engine = 0;
+        bool all_match = true;
+        for (int t = 0; t < ctx.opts().trials; ++t) {
+            const std::uint64_t seed = ctx.opts().trialSeed(t);
+            const LoopOutcome legacy =
+                runLegacyLoop(c, rules, cost, iters, seed);
+            const LoopOutcome engine =
+                runEngineLoop(c, rules, cost, iters, seed);
+            const bool match =
+                legacy.final_.gates() == engine.final_.gates() &&
+                legacy.accepted == engine.accepted;
+            all_match = all_match && match;
+
+            const double legacy_ips =
+                legacy.seconds > 0 ? iters / legacy.seconds : 0.0;
+            const double engine_ips =
+                engine.seconds > 0 ? iters / engine.seconds : 0.0;
+            for (const auto &[tool, ips, secs] :
+                 {std::tuple<const char *, double, double>{
+                      "legacy", legacy_ips, legacy.seconds},
+                  {"engine", engine_ips, engine.seconds}}) {
+                CaseResult row;
+                row.benchmark = bench;
+                row.tool = tool;
+                row.metric = "iterations_per_second";
+                row.value = ips;
+                row.seconds = secs;
+                row.trial = t;
+                row.seed = seed;
+                ctx.record(std::move(row));
+            }
+
+            CaseResult guard;
+            guard.benchmark = bench;
+            guard.tool = "engine";
+            guard.metric = "engine_matches_legacy";
+            guard.value = match ? 1.0 : 0.0;
+            guard.trial = t;
+            guard.seed = seed;
+            ctx.record(std::move(guard));
+
+            if (t == 0 || legacy_ips > best_legacy)
+                best_legacy = legacy_ips;
+            if (t == 0 || engine_ips > best_engine)
+                best_engine = engine_ips;
+            if (t == 0) {
+                table.addRow({bench, "legacy", fmt("%.0f", legacy_ips),
+                              "1.00x", "-"});
+                table.addRow({bench, "engine", fmt("%.0f", engine_ips),
+                              fmt("%.2fx", engine_ips /
+                                               std::max(legacy_ips, 1e-9)),
+                              match ? "yes" : "NO"});
+            }
+        }
+
+        // Aggregate: best-of-trials speedup — the acceptance metric at
+        // the largest size.
+        CaseResult agg;
+        agg.benchmark = bench;
+        agg.tool = "engine";
+        agg.metric = "speedup_vs_legacy";
+        agg.value =
+            best_legacy > 0 ? best_engine / best_legacy : 0.0;
+        agg.trial = 0;
+        agg.seed = ctx.opts().trialSeed(0);
+        ctx.record(std::move(agg));
+
+        if (!all_match)
+            support::panic("rewrite_throughput: engine diverged from "
+                           "the legacy pass");
+    }
+
+    if (ctx.pretty()) {
+        table.print();
+        std::printf("\nshape check: the engine replays the legacy "
+                    "decision sequence gate-for-gate and the largest "
+                    "size speeds up >= 5x.\n");
+    }
+}
+
+const CaseRegistrar kRewriteThroughput(
+    "rewrite_throughput",
+    "incremental rewrite engine vs legacy pass: Metropolis loop "
+    "iterations/sec",
+    330, runRewriteThroughput);
+
+} // namespace
+
+#ifndef GUOQ_BENCH_NO_MAIN
+int
+main()
+{
+    return guoq::bench::legacyMain();
+}
+#endif

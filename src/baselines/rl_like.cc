@@ -1,7 +1,8 @@
 #include "baselines/rl_like.h"
 
-#include "rewrite/applier.h"
+#include "rewrite/engine.h"
 #include "rewrite/rule.h"
+#include "support/logging.h"
 #include "support/rng.h"
 #include "support/timer.h"
 #include "transpile/to_gate_set.h"
@@ -18,9 +19,20 @@ rlLikeOptimize(const ir::Circuit &c, ir::GateSetKind set,
     support::Rng rng(opts.seed);
     const core::CostFunction cost(opts.objective, set);
     const std::vector<rewrite::RewriteRule> &rules = rewrite::rulesFor(set);
+    const bool count_cost = cost.countBased();
+
+    // The engine carries `cur` across all steps: the greedy head's
+    // one-step lookahead prices each rule pass from the kind-bucket
+    // probe + delta counters (or a materialized candidate for
+    // order-dependent objectives) instead of building |rules| full
+    // circuits per step, then re-prepares only the winning pass.
+    rewrite::RewriteEngine engine{ir::Circuit(c)};
+    auto attempt_cost = [&](const rewrite::RewriteEngine::Attempt &att) {
+        return count_cost ? cost.fromCounts(att.counts)
+                          : cost(engine.candidate());
+    };
 
     ir::Circuit best = c;
-    ir::Circuit cur = c;
     double cost_best = cost(c);
     double cost_cur = cost_best;
     long steps = 0;
@@ -34,29 +46,31 @@ rlLikeOptimize(const ir::Circuit &c, ir::GateSetKind set,
         // accepted unconditionally — the policy's stochastic head.
         if (rng.chance(opts.explorationRate)) {
             if (!ir::isFinite(set) && rng.chance(0.2)) {
-                cur = transpile::fuseOneQubitRuns(cur, set);
-            } else {
-                cur = rewrite::applyRulePassRandom(
-                          cur, rules[rng.index(rules.size())], rng)
-                          .circuit;
+                engine.assign(transpile::fuseOneQubitRuns(
+                    engine.circuit(), set));
+            } else if (auto att = engine.preparePassRandom(
+                           rules[rng.index(rules.size())], rng)) {
+                engine.commit();
             }
-            cost_cur = cost(cur);
+            cost_cur = cost(engine.circuit());
         } else {
             // Greedy head: one-step lookahead over every rule.
             double best_child_cost = cost_cur;
-            ir::Circuit best_child;
+            std::size_t best_rule = 0;
+            std::size_t best_anchor = 0;
             bool found = false;
-            for (const rewrite::RewriteRule &rule : rules) {
+            for (std::size_t ri = 0; ri < rules.size(); ++ri) {
                 if (deadline.expired())
                     break;
-                rewrite::PassResult r =
-                    rewrite::applyRulePassRandom(cur, rule, rng);
-                if (r.applications == 0)
+                auto att = engine.preparePassRandom(rules[ri], rng);
+                if (!att)
                     continue;
-                const double child_cost = cost(r.circuit);
+                const double child_cost = attempt_cost(*att);
+                engine.discard();
                 if (child_cost < best_child_cost || !found) {
                     best_child_cost = child_cost;
-                    best_child = std::move(r.circuit);
+                    best_rule = ri;
+                    best_anchor = att->startAnchor;
                     found = true;
                 }
             }
@@ -67,13 +81,17 @@ rlLikeOptimize(const ir::Circuit &c, ir::GateSetKind set,
                 continue;
             }
             stagnant = 0;
-            cur = std::move(best_child);
+            // Deterministic replay of the winning pass: same rule,
+            // same anchor, unchanged circuit.
+            if (!engine.preparePass(rules[best_rule], best_anchor))
+                support::panic("rlLikeOptimize: winning pass vanished");
+            engine.commit();
             cost_cur = best_child_cost;
         }
 
         if (cost_cur < cost_best) {
             cost_best = cost_cur;
-            best = cur;
+            best = engine.circuit();
         }
     }
     return best;

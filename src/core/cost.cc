@@ -19,6 +19,48 @@ CostFunction::CostFunction(Objective obj, ir::GateSetKind set)
 {
 }
 
+bool
+CostFunction::countBased() const
+{
+    switch (objective_) {
+      case Objective::TwoQubitCount:
+      case Objective::TCount:
+      case Objective::TThenTwoQubit:
+      case Objective::GateCount:
+        return true;
+      case Objective::Fidelity:
+      case Objective::Depth:
+        return false;
+    }
+    support::panic("CostFunction: unknown objective");
+}
+
+double
+CostFunction::fromCounts(const ir::CircuitCounts &k) const
+{
+    // Must mirror operator() term for term: the GUOQ accept test
+    // compares these doubles against full-scan costs bit-for-bit.
+    switch (objective_) {
+      case Objective::TwoQubitCount:
+        return static_cast<double>(k.twoQubit) +
+               1e-6 * static_cast<double>(k.gates);
+      case Objective::TCount:
+        return static_cast<double>(k.tGates) +
+               1e-6 * static_cast<double>(k.gates);
+      case Objective::TThenTwoQubit:
+        return 2.0 * static_cast<double>(k.tGates) +
+               static_cast<double>(k.twoQubit) +
+               1e-6 * static_cast<double>(k.gates);
+      case Objective::GateCount:
+        return static_cast<double>(k.gates);
+      case Objective::Fidelity:
+      case Objective::Depth:
+        break;
+    }
+    support::panic("CostFunction::fromCounts: objective needs the gate "
+                   "list, not counts");
+}
+
 double
 CostFunction::operator()(const ir::Circuit &c) const
 {

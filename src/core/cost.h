@@ -40,6 +40,22 @@ class CostFunction
     /** Evaluate the cost of @p c (lower is better). */
     double operator()(const ir::Circuit &c) const;
 
+    /**
+     * True when the objective is a pure function of ir::CircuitCounts,
+     * so fromCounts() is usable. Fidelity and Depth are not: they
+     * depend on gate order / arity classes beyond the three counters.
+     */
+    bool countBased() const;
+
+    /**
+     * Evaluate from pre-gathered counts. Uses the exact arithmetic of
+     * operator(), so for count-based objectives the result is
+     * bit-for-bit the full-scan cost — the rewrite engine's delta
+     * counters feed the GUOQ accept test through this. Panics for
+     * objectives that are not countBased().
+     */
+    double fromCounts(const ir::CircuitCounts &k) const;
+
   private:
     Objective objective_;
     const fidelity::ErrorModel *model_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dag/subcircuit.h"
+#include "rewrite/engine.h"
 #include "support/logging.h"
 #include "support/timer.h"
 #include "synth/service.h"
@@ -65,12 +66,26 @@ optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
         cfg.resynthCallSeconds, cfg.maxSubcircuitQubits, svc, &counters);
 
     GuoqResult result;
-    result.best = c;
-    ir::Circuit curr = c;
+    // The engine owns the current circuit; rule passes run through its
+    // persistent index, and its cached counters replace the per-accept
+    // full-circuit scans.
+    rewrite::RewriteEngine engine(c);
+    if (cfg.objective == Objective::Fidelity) {
+        const fidelity::ErrorModel &model = fidelity::errorModelFor(set);
+        engine.setGateLogCost([&model](const ir::Gate &g) {
+            return -std::log1p(-model.gateError(g));
+        });
+    }
+    const bool count_cost = cost.countBased();
     double cost_best = cost(c);
     double cost_curr = cost_best;
     double error_curr = 0;
     double error_best = 0;
+    // result.best is copied lazily: while the current circuit *is* the
+    // best, only its counts are kept; a snapshot is taken the moment an
+    // accepted move leaves the best (or at loop exit, as a move).
+    bool best_is_curr = true;
+    ir::CircuitCounts best_counts = engine.counts();
 
     auto record = [&](bool force = false) {
         if (!cfg.recordTrace)
@@ -81,74 +96,111 @@ optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
         TracePoint p;
         p.seconds = timer.seconds();
         p.cost = cost_best;
-        p.gateCount = result.best.gateCount();
-        p.twoQubitCount = result.best.twoQubitGateCount();
-        p.tCount = result.best.tGateCount();
+        p.gateCount = best_counts.gates;
+        p.twoQubitCount = best_counts.twoQubit;
+        p.tCount = best_counts.tGates;
         result.trace.push_back(p);
     };
     record(true);
 
     std::vector<PendingResynth> pending;
 
-    // Accept/reject a candidate per Alg. 1 lines 10-18.
-    auto consider = [&](ir::Circuit &&candidate, double eps_spent,
-                        bool from_resynth) {
-        const double cost_cand = cost(candidate);
-        bool accept = cost_cand <= cost_curr;
-        if (accept) {
+    // Accept/reject per Alg. 1 lines 10-18, split in two: the shared
+    // Metropolis decision, and per-path commit plumbing.
+    auto decide = [&](double cost_cand) {
+        if (cost_cand <= cost_curr) {
             ++result.stats.accepted;
-        } else {
-            const double p =
-                std::exp(-cfg.temperature * cost_cand /
-                         std::max(cost_curr, 1e-12));
-            if (rng.chance(p)) {
-                accept = true;
-                ++result.stats.uphillAccepted;
-            } else {
-                ++result.stats.rejected;
-            }
+            return true;
         }
-        if (!accept)
-            return;
-        curr = std::move(candidate);
+        const double p = std::exp(-cfg.temperature * cost_cand /
+                                  std::max(cost_curr, 1e-12));
+        if (rng.chance(p)) {
+            ++result.stats.uphillAccepted;
+            return true;
+        }
+        ++result.stats.rejected;
+        return false;
+    };
+
+    // Freeze result.best before the engine moves off it: accepted
+    // moves that are not strict improvements leave the best behind.
+    auto snapshot_if_leaving_best = [&](double cost_cand) {
+        if (best_is_curr && !(cost_cand < cost_best)) {
+            result.best = engine.circuit();
+            best_is_curr = false;
+        }
+    };
+
+    // Post-accept bookkeeping; the engine already holds the move.
+    auto on_accepted = [&](double cost_cand, double eps_spent,
+                           bool from_resynth) {
         cost_curr = cost_cand;
         error_curr += eps_spent;
         if (from_resynth)
             ++result.stats.resynthAccepted;
         if (cost_curr < cost_best) {
             cost_best = cost_curr;
-            result.best = curr;
             error_best = error_curr;
+            best_is_curr = true;
+            best_counts = engine.counts();
             record();
             if (cfg.hooks.onBest) {
                 ProgressEvent ev;
                 ev.seconds = timer.seconds();
                 ev.cost = cost_best;
                 ev.errorBound = error_best;
-                ev.gateCount = result.best.gateCount();
-                ev.twoQubitCount = result.best.twoQubitGateCount();
+                ev.gateCount = best_counts.gates;
+                ev.twoQubitCount = best_counts.twoQubit;
                 cfg.hooks.onBest(ev);
             }
         }
     };
 
-    // Harvest finished asynchronous resynthesis calls, in launch order.
+    // A whole-circuit candidate (fusion, resynthesis splice).
+    auto consider_circuit = [&](ir::Circuit &&candidate, double eps_spent,
+                                bool from_resynth) {
+        const double cost_cand = cost(candidate);
+        if (!decide(cost_cand))
+            return;
+        snapshot_if_leaving_best(cost_cand);
+        engine.assign(std::move(candidate));
+        on_accepted(cost_cand, eps_spent, from_resynth);
+    };
+
+    // A prepared engine pass: count-based objectives price it from the
+    // delta counters alone; Fidelity/Depth materialize the candidate
+    // and use the legacy scan so accept decisions stay bit-identical.
+    auto consider_prepared = [&](const rewrite::RewriteEngine::Attempt
+                                     &att) {
+        const double cost_cand = count_cost
+                                     ? cost.fromCounts(att.counts)
+                                     : cost(engine.candidate());
+        if (!decide(cost_cand)) {
+            engine.discard();
+            return;
+        }
+        snapshot_if_leaving_best(cost_cand);
+        engine.commit();
+        on_accepted(cost_cand, /*eps_spent=*/0.0, /*from_resynth=*/false);
+    };
+
+    // Harvest finished asynchronous resynthesis calls, in launch
+    // order, compacting still-running entries in place (stable, O(n)).
     auto harvestAsync = [&](bool wait) {
-        for (std::size_t i = 0; i < pending.size();) {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < pending.size(); ++i) {
             PendingResynth &p = pending[i];
             if (!wait &&
                 p.future.wait_for(std::chrono::seconds(0)) !=
                     std::future_status::ready) {
-                ++i;
+                if (keep != i)
+                    pending[keep] = std::move(p);
+                ++keep;
                 continue;
             }
             const synth::SynthOutcome so = p.future.get();
             counters.add(so);
             const synth::ResynthResult &r = so.result;
-            const ir::Circuit snapshot = std::move(p.snapshot);
-            const dag::SubcircuitSelection sel = std::move(p.selection);
-            pending.erase(pending.begin() +
-                          static_cast<std::ptrdiff_t>(i));
             if (!r.success)
                 continue;
             if (error_curr + r.distance > cfg.epsilonTotal)
@@ -156,9 +208,11 @@ optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
             // Accepted resynthesis discards interim rewrites (§5.3):
             // the candidate is the launch-time snapshot with the new
             // block.
-            consider(dag::splice(snapshot, sel, r.circuit), r.distance,
-                     /*from_resynth=*/true);
+            consider_circuit(dag::splice(p.snapshot, p.selection,
+                                         r.circuit),
+                             r.distance, /*from_resynth=*/true);
         }
+        pending.resize(keep);
     };
 
     while (!deadline.expired() && !cfg.hooks.cancelled() &&
@@ -183,14 +237,14 @@ optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
                 if (pending.size() >=
                     static_cast<std::size_t>(cfg.synthWorkers))
                     continue; // all async slots busy
-                if (curr.empty())
+                if (engine.circuit().empty())
                     continue;
                 PendingResynth p;
                 p.selection = dag::randomConvex(
-                    curr, rng, cfg.maxSubcircuitQubits, 32, 6);
+                    engine.circuit(), rng, cfg.maxSubcircuitQubits, 32, 6);
                 if (p.selection.size() < 2)
                     continue;
-                p.snapshot = curr;
+                p.snapshot = engine.circuit();
                 ir::Circuit sub = dag::extract(p.snapshot, p.selection);
                 synth::ResynthOptions opts;
                 opts.targetSet = set;
@@ -209,7 +263,21 @@ optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
             }
         }
 
-        auto outcome = tau.apply(curr, rng);
+        if (tau.kind() == TransformKind::RewriteRule) {
+            // The engine fast path: probe only the matching kind
+            // bucket, price the pass from delta counters, and touch
+            // the circuit itself only on accept.
+            auto att = engine.preparePassRandom(*tau.rule(), rng);
+            if (!att) {
+                ++result.stats.noops;
+                continue;
+            }
+            ++result.stats.rewriteApplications;
+            consider_prepared(*att);
+            continue;
+        }
+
+        auto outcome = tau.apply(engine.circuit(), rng);
         if (!outcome) {
             ++result.stats.noops;
             continue;
@@ -221,12 +289,15 @@ optimize(const ir::Circuit &c, ir::GateSetKind set, const GuoqConfig &cfg)
             ++result.stats.budgetSkips;
             continue;
         }
-        consider(std::move(outcome->circuit), outcome->epsilonSpent,
-                 tau.kind() == TransformKind::Resynthesis);
+        consider_circuit(std::move(outcome->circuit),
+                         outcome->epsilonSpent,
+                         tau.kind() == TransformKind::Resynthesis);
     }
 
     harvestAsync(/*wait=*/true);
 
+    if (best_is_curr)
+        result.best = engine.release(); // the lazy-copy exit: a move
     result.errorBound = error_best;
     result.stats.synthCacheHits = counters.hits;
     result.stats.synthCacheMisses = counters.misses;

@@ -79,6 +79,13 @@ class Transformation
     const std::string &name() const { return name_; }
     TransformKind kind() const { return kind_; }
 
+    /**
+     * The wrapped rule for RewriteRule transformations (null
+     * otherwise). The GUOQ loop dispatches rule passes through the
+     * incremental rewrite::RewriteEngine instead of apply().
+     */
+    const rewrite::RewriteRule *rule() const { return rule_; }
+
     /** Nominal ε (the budget check of Alg. 1 line 6 uses this). */
     double epsilon() const { return epsilon_; }
 

@@ -5,39 +5,47 @@
 namespace guoq {
 namespace dag {
 
-CircuitDag::CircuitDag(const ir::Circuit &c)
-    : numQubits_(c.numQubits()),
-      first_(static_cast<std::size_t>(c.numQubits()), kNoGate),
-      last_(static_cast<std::size_t>(c.numQubits()), kNoGate)
+void
+CircuitDag::rebuild(const ir::Circuit &c)
 {
     const std::size_t n = c.size();
-    gateQubits_.reserve(n);
-    nextLink_.resize(n);
-    prevLink_.resize(n);
+    const auto nq = static_cast<std::size_t>(c.numQubits());
+    numQubits_ = c.numQubits();
+    numGates_ = n;
 
-    std::vector<std::size_t> frontier(
-        static_cast<std::size_t>(c.numQubits()), kNoGate);
+    arity_.resize(n);
+    qubits_.resize(n * kMaxArity);
+    nextLink_.resize(n * kMaxArity);
+    prevLink_.resize(n * kMaxArity);
+    first_.assign(nq, kNoGate);
+    last_.assign(nq, kNoGate);
+    frontier_.assign(nq, kNoGate);
 
     for (std::size_t i = 0; i < n; ++i) {
         const ir::Gate &g = c.gate(i);
-        gateQubits_.push_back(g.qubits);
         const std::size_t m = g.qubits.size();
-        nextLink_[i].assign(m, kNoGate);
-        prevLink_[i].assign(m, kNoGate);
+        if (m > kMaxArity)
+            support::panic(support::strcat("CircuitDag: gate ", i,
+                                           " arity ", m, " exceeds ",
+                                           kMaxArity));
+        arity_[i] = static_cast<std::int8_t>(m);
+        const std::size_t base = i * kMaxArity;
+        for (std::size_t k = 0; k < kMaxArity; ++k) {
+            qubits_[base + k] = k < m ? g.qubits[k] : -1;
+            nextLink_[base + k] = kNoGate;
+            prevLink_[base + k] = kNoGate;
+        }
         for (std::size_t k = 0; k < m; ++k) {
             const auto q = static_cast<std::size_t>(g.qubits[k]);
-            const std::size_t p = frontier[q];
-            prevLink_[i][k] = p;
+            const std::size_t p = frontier_[q];
+            prevLink_[base + k] = p;
             if (p == kNoGate) {
                 first_[q] = i;
             } else {
                 // Link the previous gate's slot for this wire to us.
-                const auto &pq = gateQubits_[p];
-                for (std::size_t s = 0; s < pq.size(); ++s)
-                    if (pq[s] == g.qubits[k])
-                        nextLink_[p][s] = i;
+                nextLink_[p * kMaxArity + slotOf(p, g.qubits[k])] = i;
             }
-            frontier[q] = i;
+            frontier_[q] = i;
             last_[q] = i;
         }
     }
@@ -46,9 +54,10 @@ CircuitDag::CircuitDag(const ir::Circuit &c)
 std::size_t
 CircuitDag::slotOf(std::size_t gate_idx, int q) const
 {
-    const auto &qs = gateQubits_[gate_idx];
-    for (std::size_t s = 0; s < qs.size(); ++s)
-        if (qs[s] == q)
+    const std::size_t base = gate_idx * kMaxArity;
+    const auto m = static_cast<std::size_t>(arity_[gate_idx]);
+    for (std::size_t s = 0; s < m; ++s)
+        if (qubits_[base + s] == q)
             return s;
     support::panic(support::strcat("CircuitDag: gate ", gate_idx,
                                    " does not act on qubit ", q));
@@ -57,13 +66,13 @@ CircuitDag::slotOf(std::size_t gate_idx, int q) const
 std::size_t
 CircuitDag::next(std::size_t gate_idx, int q) const
 {
-    return nextLink_[gate_idx][slotOf(gate_idx, q)];
+    return nextLink_[gate_idx * kMaxArity + slotOf(gate_idx, q)];
 }
 
 std::size_t
 CircuitDag::prev(std::size_t gate_idx, int q) const
 {
-    return prevLink_[gate_idx][slotOf(gate_idx, q)];
+    return prevLink_[gate_idx * kMaxArity + slotOf(gate_idx, q)];
 }
 
 std::size_t

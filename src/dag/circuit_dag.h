@@ -4,11 +4,17 @@
  * gates (paper §3, "Subcircuits"). The gate list itself is a valid
  * topological order; the DAG adds O(1) wire-adjacency queries used by
  * the rewrite matcher and the subcircuit selector.
+ *
+ * Storage is a flat structure-of-arrays (fixed stride of kMaxArity
+ * slots per gate) so rebuild() can re-index a mutated circuit without
+ * allocating once the buffers are warm — the rewrite engine calls it
+ * after every accepted pass.
  */
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "ir/circuit.h"
@@ -23,7 +29,20 @@ constexpr std::size_t kNoGate = static_cast<std::size_t>(-1);
 class CircuitDag
 {
   public:
-    explicit CircuitDag(const ir::Circuit &c);
+    /** Widest gate the index supports (CCX/CCZ). */
+    static constexpr std::size_t kMaxArity = 3;
+
+    /** An empty index; rebuild() attaches it to a circuit. */
+    CircuitDag() = default;
+
+    explicit CircuitDag(const ir::Circuit &c) { rebuild(c); }
+
+    /**
+     * Re-index @p c in place. Reuses the existing buffers, so after
+     * the first build on a circuit of a given size this allocates
+     * nothing (buffers only grow).
+     */
+    void rebuild(const ir::Circuit &c);
 
     /** Index of the next gate after @p gate_idx on wire @p q. */
     std::size_t next(std::size_t gate_idx, int q) const;
@@ -36,20 +55,23 @@ class CircuitDag
     std::size_t lastOnWire(int q) const;
 
     int numQubits() const { return numQubits_; }
-    std::size_t numGates() const { return gateQubits_.size(); }
+    std::size_t numGates() const { return numGates_; }
 
   private:
     /** Slot of wire q within gate i's qubit list (panics if absent). */
     std::size_t slotOf(std::size_t gate_idx, int q) const;
 
-    int numQubits_;
-    std::vector<std::vector<int>> gateQubits_;
-    // nextLink_[i][k] / prevLink_[i][k]: neighbor of gate i on its k-th
-    // qubit wire.
-    std::vector<std::vector<std::size_t>> nextLink_;
-    std::vector<std::vector<std::size_t>> prevLink_;
+    int numQubits_ = 0;
+    std::size_t numGates_ = 0;
+    // Per gate: arity, then kMaxArity slots of (qubit, next, prev).
+    // Unused slots hold qubit -1 / kNoGate links.
+    std::vector<std::int8_t> arity_;
+    std::vector<int> qubits_;
+    std::vector<std::size_t> nextLink_;
+    std::vector<std::size_t> prevLink_;
     std::vector<std::size_t> first_;
     std::vector<std::size_t> last_;
+    std::vector<std::size_t> frontier_; // rebuild scratch, per qubit
 };
 
 } // namespace dag

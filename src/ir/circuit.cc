@@ -68,6 +68,20 @@ Circuit::tGateCount() const
     return n;
 }
 
+CircuitCounts
+Circuit::counts() const
+{
+    CircuitCounts k;
+    k.gates = gates_.size();
+    for (const Gate &g : gates_) {
+        if (g.arity() == 2)
+            ++k.twoQubit;
+        if (isTGate(g.kind))
+            ++k.tGates;
+    }
+    return k;
+}
+
 std::size_t
 Circuit::countOf(GateKind kind) const
 {

@@ -17,6 +17,20 @@
 namespace guoq {
 namespace ir {
 
+/**
+ * The count metrics the cost objectives consume, gathered in one pass
+ * (see Circuit::counts()); the rewrite engine keeps them incrementally
+ * up to date across accepted passes.
+ */
+struct CircuitCounts
+{
+    std::size_t gates = 0;
+    std::size_t twoQubit = 0; //!< gates of arity exactly 2
+    std::size_t tGates = 0;   //!< T and T†
+
+    bool operator==(const CircuitCounts &) const = default;
+};
+
 /** A quantum circuit: gate list plus qubit count. */
 class Circuit
 {
@@ -73,6 +87,8 @@ class Circuit
     std::size_t gateCount() const { return gates_.size(); }
     std::size_t twoQubitGateCount() const;
     std::size_t tGateCount() const; //!< counts T and T†
+    /** All of the above in a single pass over the gate list. */
+    CircuitCounts counts() const;
     std::size_t countOf(GateKind kind) const;
     /** Circuit depth: longest dependency chain through shared qubits. */
     std::size_t depth() const;

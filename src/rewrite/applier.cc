@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "rewrite/engine.h"
 #include "rewrite/matcher.h"
 
 namespace guoq {
@@ -73,20 +74,23 @@ ir::Circuit
 applyRulesToFixpoint(const ir::Circuit &c,
                      const std::vector<RewriteRule> &rules, int max_rounds)
 {
-    ir::Circuit cur = c;
+    // One engine carries the circuit across every pass of every round,
+    // so each pass probes only its rule's kind bucket instead of
+    // rebuilding Matcher + circuit from scratch (legacy behavior is
+    // preserved pass for pass; see tests/test_rewrite_engine.cc).
+    RewriteEngine engine{ir::Circuit(c)};
     for (int round = 0; round < max_rounds; ++round) {
         int fired = 0;
         for (const RewriteRule &rule : rules) {
-            PassResult r = applyRulePass(cur, rule, 0);
-            if (r.applications > 0) {
-                cur = std::move(r.circuit);
-                fired += r.applications;
+            if (engine.preparePass(rule, 0)) {
+                fired += 1;
+                engine.commit();
             }
         }
         if (fired == 0)
             break;
     }
-    return cur;
+    return engine.release();
 }
 
 } // namespace rewrite

@@ -4,6 +4,12 @@
  * subcircuits"): a rewrite transformation performs one full pass over
  * the circuit starting from a random anchor, replacing every disjoint
  * match of the rule.
+ *
+ * applyRulePass / applyRulePassRandom are the *legacy* copy-everything
+ * implementation, kept as the reference the incremental
+ * rewrite::RewriteEngine (engine.h) is differentially tested against;
+ * hot paths (the GUOQ loop, applyRulesToFixpoint, the rl-like
+ * baseline) run through the engine.
  */
 
 #pragma once

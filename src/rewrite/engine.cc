@@ -1,0 +1,301 @@
+#include "rewrite/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "support/logging.h"
+
+namespace guoq {
+namespace rewrite {
+
+RewriteEngine::RewriteEngine(ir::Circuit c) : circuit_(std::move(c))
+{
+    candidate_ = ir::Circuit(circuit_.numQubits());
+    reindex();
+    recount();
+}
+
+void
+RewriteEngine::setGateLogCost(std::function<double(const ir::Gate &)> fn)
+{
+    gateLogCost_ = std::move(fn);
+    fidLogCost_ = 0;
+    if (gateLogCost_)
+        for (const ir::Gate &g : circuit_.gates())
+            fidLogCost_ += gateLogCost_(g);
+}
+
+void
+RewriteEngine::assign(ir::Circuit c)
+{
+    if (pending())
+        support::panic("RewriteEngine::assign: a pass is pending");
+    if (c.numQubits() != circuit_.numQubits())
+        candidate_ = ir::Circuit(c.numQubits());
+    circuit_ = std::move(c);
+    reindex();
+    recount();
+}
+
+ir::Circuit
+RewriteEngine::release()
+{
+    if (pending())
+        support::panic("RewriteEngine::release: a pass is pending");
+    return std::move(circuit_);
+}
+
+std::optional<RewriteEngine::Attempt>
+RewriteEngine::preparePass(const RewriteRule &rule,
+                           std::size_t start_anchor)
+{
+    if (pending())
+        support::panic("RewriteEngine::preparePass: a pass is pending");
+    const std::size_t n = circuit_.size();
+    if (n == 0)
+        return std::nullopt;
+
+    candidateReady_ = false;
+    pendingCounts_ = counts_;
+    pendingFidLogCost_ = fidLogCost_;
+    usedStamp_.resize(n, 0);
+    ++passEpoch_;
+
+    // The legacy pass visits anchors (start + off) % n for off 0..n-1
+    // and lets matchAt reject every anchor whose kind differs from the
+    // rule's first pattern gate. Restricted to the kind bucket, that
+    // cyclic order is: bucket entries >= start ascending, then the
+    // wrapped prefix.
+    const auto &bucket =
+        buckets_[static_cast<std::size_t>(rule.pattern().front().kind)];
+    const auto split = static_cast<std::size_t>(
+        std::lower_bound(bucket.begin(), bucket.end(), start_anchor) -
+        bucket.begin());
+
+    for (std::size_t off = 0; off < bucket.size(); ++off) {
+        const std::size_t pos = split + off;
+        const std::size_t anchor =
+            bucket[pos < bucket.size() ? pos : pos - bucket.size()];
+        if (usedStamp_[anchor] == passEpoch_)
+            continue;
+        auto m = matchAt(circuit_, dag_, rule, anchor, scratch_);
+        if (!m)
+            continue;
+        bool overlap = false;
+        for (std::size_t gi : m->gateIndices) {
+            if (usedStamp_[gi] == passEpoch_) {
+                overlap = true;
+                break;
+            }
+        }
+        if (overlap)
+            continue;
+        PendingMatch pm;
+        pm.insertPos = m->insertPos;
+        pm.gateIndices = std::move(m->gateIndices);
+        pm.replacement =
+            rule.instantiateReplacement(m->qubitBinding, m->angleBinding);
+        for (std::size_t gi : pm.gateIndices) {
+            usedStamp_[gi] = passEpoch_;
+            const ir::Gate &g = circuit_.gate(gi);
+            --pendingCounts_.gates;
+            if (g.arity() == 2)
+                --pendingCounts_.twoQubit;
+            if (ir::isTGate(g.kind))
+                --pendingCounts_.tGates;
+            if (gateLogCost_)
+                pendingFidLogCost_ -= gateLogCost_(g);
+        }
+        for (const ir::Gate &g : pm.replacement) {
+            ++pendingCounts_.gates;
+            if (g.arity() == 2)
+                ++pendingCounts_.twoQubit;
+            if (ir::isTGate(g.kind))
+                ++pendingCounts_.tGates;
+            if (gateLogCost_)
+                pendingFidLogCost_ += gateLogCost_(g);
+        }
+        pendingMatches_.push_back(std::move(pm));
+    }
+
+    if (pendingMatches_.empty())
+        return std::nullopt;
+
+    // Emission order: ascending insertPos, discovery order within a
+    // position — the legacy multimap semantics.
+    emitOrder_.resize(pendingMatches_.size());
+    for (std::size_t i = 0; i < emitOrder_.size(); ++i)
+        emitOrder_[i] = i;
+    std::stable_sort(emitOrder_.begin(), emitOrder_.end(),
+                     [this](std::size_t a, std::size_t b) {
+                         return pendingMatches_[a].insertPos <
+                                pendingMatches_[b].insertPos;
+                     });
+
+    Attempt a;
+    a.applications = static_cast<int>(pendingMatches_.size());
+    a.startAnchor = start_anchor;
+    a.counts = pendingCounts_;
+    a.fidelityLogCost = pendingFidLogCost_;
+    return a;
+}
+
+std::optional<RewriteEngine::Attempt>
+RewriteEngine::preparePassRandom(const RewriteRule &rule,
+                                 support::Rng &rng)
+{
+    // Draw-for-draw the legacy applyRulePassRandom: one index draw on
+    // a non-empty circuit, none on an empty one.
+    const std::size_t anchor =
+        circuit_.empty() ? 0 : rng.index(circuit_.size());
+    return preparePass(rule, anchor);
+}
+
+void
+RewriteEngine::materializeInto(std::vector<ir::Gate> &out, bool move_gates)
+{
+    auto &gates = circuit_.gates();
+    const std::size_t n = gates.size();
+    // resize + element-wise assignment (not clear + push_back) so the
+    // buffer and each gate's qubit/param storage are reused when warm.
+    out.resize(pendingCounts_.gates);
+    std::size_t w = 0;
+    std::size_t j = 0;
+    for (std::size_t i = 0; i <= n; ++i) {
+        while (j < emitOrder_.size() &&
+               pendingMatches_[emitOrder_[j]].insertPos == i) {
+            for (ir::Gate &g : pendingMatches_[emitOrder_[j]].replacement)
+                out[w++] = move_gates ? std::move(g) : g;
+            ++j;
+        }
+        if (i < n && usedStamp_[i] != passEpoch_)
+            out[w++] = move_gates ? std::move(gates[i]) : gates[i];
+    }
+    if (w != out.size())
+        support::panic("RewriteEngine: pending gate count mismatch");
+}
+
+const ir::Circuit &
+RewriteEngine::candidate()
+{
+    if (!pending())
+        support::panic("RewriteEngine::candidate: no pass is pending");
+    if (!candidateReady_) {
+        materializeInto(candidate_.gates(), /*move_gates=*/false);
+        candidateReady_ = true;
+    }
+    return candidate_;
+}
+
+void
+RewriteEngine::commit()
+{
+    if (!pending())
+        support::panic("RewriteEngine::commit: no pass is pending");
+    if (candidateReady_) {
+        // The pass was already materialized for a cost evaluation:
+        // adopt it wholesale instead of re-emitting.
+        circuit_.gates().swap(candidate_.gates());
+    } else {
+        materializeInto(gateScratch_, /*move_gates=*/true);
+        circuit_.gates().swap(gateScratch_);
+    }
+    counts_ = pendingCounts_;
+    fidLogCost_ = pendingFidLogCost_;
+    clearPending();
+    reindex();
+}
+
+void
+RewriteEngine::discard()
+{
+    clearPending();
+}
+
+void
+RewriteEngine::clearPending()
+{
+    pendingMatches_.clear();
+    emitOrder_.clear();
+    candidateReady_ = false;
+}
+
+void
+RewriteEngine::reindex()
+{
+    dag_.rebuild(circuit_);
+    for (auto &b : buckets_)
+        b.clear();
+    const auto &gates = circuit_.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i)
+        buckets_[static_cast<std::size_t>(gates[i].kind)].push_back(i);
+    usedStamp_.resize(gates.size(), 0);
+}
+
+void
+RewriteEngine::recount()
+{
+    counts_ = circuit_.counts();
+    fidLogCost_ = 0;
+    if (gateLogCost_)
+        for (const ir::Gate &g : circuit_.gates())
+            fidLogCost_ += gateLogCost_(g);
+}
+
+void
+RewriteEngine::checkInvariants() const
+{
+    const auto &gates = circuit_.gates();
+
+    if (counts_ != circuit_.counts())
+        support::panic("RewriteEngine: cached counts diverge from the "
+                       "working circuit");
+
+    if (gateLogCost_) {
+        double fresh = 0;
+        for (const ir::Gate &g : gates)
+            fresh += gateLogCost_(g);
+        // Delta-maintained fp sum: allow ulp-scale drift only.
+        if (std::abs(fresh - fidLogCost_) >
+            1e-9 * std::max(1.0, std::abs(fresh)))
+            support::panic("RewriteEngine: cached fidelity log-cost "
+                           "diverges from a fresh scan");
+    }
+
+    std::size_t bucketed = 0;
+    for (std::size_t k = 0; k < buckets_.size(); ++k) {
+        std::size_t prev_idx = 0;
+        bool first = true;
+        for (std::size_t gi : buckets_[k]) {
+            if (gi >= gates.size() ||
+                gates[gi].kind != static_cast<ir::GateKind>(k))
+                support::panic("RewriteEngine: kind bucket entry does "
+                               "not match its gate");
+            if (!first && gi <= prev_idx)
+                support::panic("RewriteEngine: kind bucket not in "
+                               "ascending order");
+            prev_idx = gi;
+            first = false;
+            ++bucketed;
+        }
+    }
+    if (bucketed != gates.size())
+        support::panic("RewriteEngine: kind buckets do not cover the "
+                       "gate list");
+
+    const dag::CircuitDag fresh(circuit_);
+    if (dag_.numGates() != fresh.numGates() ||
+        dag_.numQubits() != fresh.numQubits())
+        support::panic("RewriteEngine: stale wire index shape");
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        for (int q : gates[i].qubits) {
+            if (dag_.next(i, q) != fresh.next(i, q) ||
+                dag_.prev(i, q) != fresh.prev(i, q))
+                support::panic("RewriteEngine: stale wire link");
+        }
+    }
+}
+
+} // namespace rewrite
+} // namespace guoq

@@ -18,32 +18,40 @@ anglesEqual(double a, double b, double tol = 1e-9)
 
 } // namespace
 
-Matcher::Matcher(const ir::Circuit &c) : circuit_(c), dag_(c) {}
-
 std::optional<Match>
-Matcher::matchAt(const RewriteRule &rule, std::size_t anchor) const
+matchAt(const ir::Circuit &c, const dag::CircuitDag &dag,
+        const RewriteRule &rule, std::size_t anchor, MatchScratch &sc)
 {
-    const auto &gates = circuit_.gates();
+    const auto &gates = c.gates();
     if (anchor >= gates.size())
         return std::nullopt;
 
+    const auto nq = static_cast<std::size_t>(c.numQubits());
+    if (sc.stamp.size() < nq) {
+        sc.stamp.resize(nq, 0);
+        sc.varOf.resize(nq);
+        sc.lastOn.resize(nq);
+        sc.firstOn.resize(nq);
+    }
+    ++sc.epoch;
+    // Touch a qubit's map entries: defaulted on first access per probe.
+    auto touch = [&sc](int q) {
+        const auto u = static_cast<std::size_t>(q);
+        if (sc.stamp[u] != sc.epoch) {
+            sc.stamp[u] = sc.epoch;
+            sc.varOf[u] = -1;
+            sc.lastOn[u] = dag::kNoGate;
+            sc.firstOn[u] = dag::kNoGate;
+        }
+    };
+
     const auto &pattern = rule.pattern();
-    Match m;
-    m.gateIndices.reserve(pattern.size());
-    m.qubitBinding.assign(static_cast<std::size_t>(rule.numQubitVars()), -1);
-    m.angleBinding.assign(static_cast<std::size_t>(rule.numAngleVars()),
-                          0.0);
-    std::vector<bool> angle_bound(
-        static_cast<std::size_t>(rule.numAngleVars()), false);
-    // Reverse qubit binding: circuit qubit -> variable (or -1).
-    std::vector<int> var_of(static_cast<std::size_t>(circuit_.numQubits()),
-                            -1);
-    // Last matched gate per circuit qubit (kNoGate when none yet).
-    std::vector<std::size_t> last_on(
-        static_cast<std::size_t>(circuit_.numQubits()), dag::kNoGate);
-    // First matched gate per circuit qubit (for the splice window).
-    std::vector<std::size_t> first_on(
-        static_cast<std::size_t>(circuit_.numQubits()), dag::kNoGate);
+    sc.gateIndices.clear();
+    sc.qubitBinding.assign(static_cast<std::size_t>(rule.numQubitVars()),
+                           -1);
+    sc.angleBinding.assign(static_cast<std::size_t>(rule.numAngleVars()),
+                           0.0);
+    sc.angleBound.assign(static_cast<std::size_t>(rule.numAngleVars()), 0);
 
     for (std::size_t pj = 0; pj < pattern.size(); ++pj) {
         const PatternGate &pg = pattern[pj];
@@ -56,12 +64,16 @@ Matcher::matchAt(const RewriteRule &rule, std::size_t anchor) const
             // Every wire of pg already bound to a matched wire must
             // point at the same next gate.
             for (int qv : pg.qubits) {
-                const int cq = m.qubitBinding[static_cast<std::size_t>(qv)];
-                if (cq < 0 ||
-                    last_on[static_cast<std::size_t>(cq)] == dag::kNoGate)
+                const int cq =
+                    sc.qubitBinding[static_cast<std::size_t>(qv)];
+                if (cq < 0)
+                    continue;
+                touch(cq);
+                if (sc.lastOn[static_cast<std::size_t>(cq)] ==
+                    dag::kNoGate)
                     continue;
                 const std::size_t nxt =
-                    dag_.next(last_on[static_cast<std::size_t>(cq)], cq);
+                    dag.next(sc.lastOn[static_cast<std::size_t>(cq)], cq);
                 if (nxt == dag::kNoGate)
                     return std::nullopt;
                 if (cand == dag::kNoGate)
@@ -83,12 +95,13 @@ Matcher::matchAt(const RewriteRule &rule, std::size_t anchor) const
         for (std::size_t k = 0; k < pg.qubits.size(); ++k) {
             const int qv = pg.qubits[k];
             const int cq = g.qubits[k];
-            int &bound = m.qubitBinding[static_cast<std::size_t>(qv)];
+            touch(cq);
+            int &bound = sc.qubitBinding[static_cast<std::size_t>(qv)];
             if (bound < 0) {
-                if (var_of[static_cast<std::size_t>(cq)] != -1)
+                if (sc.varOf[static_cast<std::size_t>(cq)] != -1)
                     return std::nullopt; // qubit already taken
                 bound = cq;
-                var_of[static_cast<std::size_t>(cq)] = qv;
+                sc.varOf[static_cast<std::size_t>(cq)] = qv;
             } else if (bound != cq) {
                 return std::nullopt;
             }
@@ -100,31 +113,32 @@ Matcher::matchAt(const RewriteRule &rule, std::size_t anchor) const
             const double actual = g.params[k];
             if (e.isBareVar()) {
                 const int v = e.terms[0].first;
-                if (!angle_bound[static_cast<std::size_t>(v)]) {
-                    m.angleBinding[static_cast<std::size_t>(v)] = actual;
-                    angle_bound[static_cast<std::size_t>(v)] = true;
+                if (!sc.angleBound[static_cast<std::size_t>(v)]) {
+                    sc.angleBinding[static_cast<std::size_t>(v)] = actual;
+                    sc.angleBound[static_cast<std::size_t>(v)] = 1;
                     continue;
                 }
             }
             // Constraint: all vars must already be bound.
             for (const auto &[v, coeff] : e.terms) {
-                if (!angle_bound[static_cast<std::size_t>(v)])
+                if (!sc.angleBound[static_cast<std::size_t>(v)])
                     return std::nullopt;
             }
-            if (!anglesEqual(e.eval(m.angleBinding), actual))
+            if (!anglesEqual(e.eval(sc.angleBinding), actual))
                 return std::nullopt;
         }
 
         // Record wire bookkeeping.
         for (int cq : g.qubits) {
-            if (first_on[static_cast<std::size_t>(cq)] == dag::kNoGate)
-                first_on[static_cast<std::size_t>(cq)] = cand;
-            last_on[static_cast<std::size_t>(cq)] = cand;
+            touch(cq);
+            if (sc.firstOn[static_cast<std::size_t>(cq)] == dag::kNoGate)
+                sc.firstOn[static_cast<std::size_t>(cq)] = cand;
+            sc.lastOn[static_cast<std::size_t>(cq)] = cand;
         }
-        m.gateIndices.push_back(cand);
+        sc.gateIndices.push_back(cand);
     }
 
-    if (rule.guard() && !rule.guard()(m.angleBinding))
+    if (rule.guard() && !rule.guard()(sc.angleBinding))
         return std::nullopt;
 
     // Splice window: the replacement must go after every outside gate
@@ -133,24 +147,38 @@ Matcher::matchAt(const RewriteRule &rule, std::size_t anchor) const
     std::size_t pos_lo = 0;
     std::size_t pos_hi = gates.size();
     for (int qv = 0; qv < rule.numQubitVars(); ++qv) {
-        const int cq = m.qubitBinding[static_cast<std::size_t>(qv)];
+        const int cq = sc.qubitBinding[static_cast<std::size_t>(qv)];
         if (cq < 0)
             continue; // unused variable (cannot happen for valid rules)
-        const std::size_t f = first_on[static_cast<std::size_t>(cq)];
-        const std::size_t l = last_on[static_cast<std::size_t>(cq)];
+        touch(cq);
+        const std::size_t f = sc.firstOn[static_cast<std::size_t>(cq)];
+        const std::size_t l = sc.lastOn[static_cast<std::size_t>(cq)];
         if (f == dag::kNoGate)
             continue;
-        const std::size_t p = dag_.prev(f, cq);
+        const std::size_t p = dag.prev(f, cq);
         if (p != dag::kNoGate && p + 1 > pos_lo)
             pos_lo = p + 1;
-        const std::size_t n = dag_.next(l, cq);
+        const std::size_t n = dag.next(l, cq);
         if (n != dag::kNoGate && n < pos_hi)
             pos_hi = n;
     }
     if (pos_lo > pos_hi)
         return std::nullopt;
+
+    Match m;
+    m.gateIndices = sc.gateIndices;
+    m.qubitBinding = sc.qubitBinding;
+    m.angleBinding = sc.angleBinding;
     m.insertPos = pos_lo;
     return m;
+}
+
+Matcher::Matcher(const ir::Circuit &c) : circuit_(c), dag_(c) {}
+
+std::optional<Match>
+Matcher::matchAt(const RewriteRule &rule, std::size_t anchor) const
+{
+    return rewrite::matchAt(circuit_, dag_, rule, anchor, scratch_);
 }
 
 } // namespace rewrite

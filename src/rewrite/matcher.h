@@ -10,11 +10,19 @@
  * match is rejected when no insertion point exists (the "sandwich"
  * non-convex case where an outside gate both follows and precedes
  * matched gates).
+ *
+ * The core matcher is the free function matchAt() over a
+ * (circuit, dag, scratch) triple so callers that probe millions of
+ * anchors — the Matcher class and the RewriteEngine — share one
+ * implementation and pay zero allocation per probe: the per-qubit
+ * maps in MatchScratch are epoch-stamped instead of cleared, and the
+ * Match vectors are only materialized on success.
  */
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -42,6 +50,38 @@ struct Match
     std::size_t insertPos = 0;
 };
 
+/**
+ * Reusable per-probe working memory for matchAt(). The per-qubit maps
+ * (variable binding, first/last matched gate per wire) are validated
+ * by an epoch stamp, so a probe touches only the qubits of the gates
+ * it visits — no O(numQubits) reset, no allocation after warm-up.
+ */
+struct MatchScratch
+{
+    // Per circuit qubit, valid when stamp[q] == epoch.
+    std::vector<std::uint64_t> stamp;
+    std::vector<int> varOf;            //!< qubit -> bound variable
+    std::vector<std::size_t> lastOn;   //!< last matched gate on wire
+    std::vector<std::size_t> firstOn;  //!< first matched gate on wire
+    std::uint64_t epoch = 0;
+    // Per rule variable (tiny; reassigned per probe).
+    std::vector<int> qubitBinding;
+    std::vector<double> angleBinding;
+    std::vector<char> angleBound;
+    std::vector<std::size_t> gateIndices;
+};
+
+/**
+ * Try to match @p rule with pattern gate 0 at @p anchor of @p c.
+ * @p dag must be the current wire index of @p c. Returns std::nullopt
+ * when the structure, angles, guard, or splice window do not admit a
+ * match.
+ */
+std::optional<Match> matchAt(const ir::Circuit &c,
+                             const dag::CircuitDag &dag,
+                             const RewriteRule &rule, std::size_t anchor,
+                             MatchScratch &scratch);
+
 /** Reusable matcher over one circuit (builds the DAG once). */
 class Matcher
 {
@@ -61,6 +101,7 @@ class Matcher
   private:
     const ir::Circuit &circuit_;
     dag::CircuitDag dag_;
+    mutable MatchScratch scratch_;
 };
 
 } // namespace rewrite

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * The incremental rewrite engine's contract (PR-010):
+ *
+ *  - differential: for randomized circuits over all five rule
+ *    libraries, every (rule, anchor) pass through the engine produces
+ *    gate-for-gate the legacy applyRulePass result, both committed
+ *    and as a materialized-but-uncommitted candidate;
+ *  - RNG equivalence: preparePassRandom consumes exactly the draws of
+ *    applyRulePassRandom;
+ *  - invariants: wire links, kind buckets, and cached counters are
+ *    revalidated after every splice (checkInvariants death tests
+ *    cover corruption);
+ *  - determinism pins: fixed-seed single-thread core::optimize()
+ *    fingerprints captured on the pre-engine implementation — the
+ *    engine swap must be bit-for-bit invisible;
+ *  - fixpoint: the engine-backed applyRulesToFixpoint equals a local
+ *    replica of the legacy round-robin loop.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/guoq.h"
+#include "fidelity/error_model.h"
+#include "rewrite/applier.h"
+#include "rewrite/engine.h"
+#include "rewrite/rule.h"
+#include "support/rng.h"
+#include "tests/test_util.h"
+
+namespace {
+
+using namespace guoq;
+
+const std::vector<ir::GateSetKind> kAllSets = {
+    ir::GateSetKind::Nam,      ir::GateSetKind::Ibmq20,
+    ir::GateSetKind::IbmEagle, ir::GateSetKind::IonQ,
+    ir::GateSetKind::CliffordT,
+};
+
+/** Gate-list equality with a readable failure message. */
+::testing::AssertionResult
+sameGates(const ir::Circuit &a, const ir::Circuit &b)
+{
+    if (a.gates() == b.gates())
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "circuits differ:\n"
+           << a.toString() << "--- vs ---\n"
+           << b.toString();
+}
+
+// ---------------------------------------------------------------------
+// Differential: engine pass == legacy pass, per accepted application.
+// ---------------------------------------------------------------------
+
+TEST(RewriteEngineDifferential, EveryPassMatchesLegacyAcrossAllSets)
+{
+    for (const ir::GateSetKind set : kAllSets) {
+        const auto &rules = rewrite::rulesFor(set);
+        support::Rng rng(42 + static_cast<std::uint64_t>(set));
+        for (int round = 0; round < 3; ++round) {
+            ir::Circuit c = testutil::randomNativeCircuit(
+                set, 5, 60 + 20 * round, rng);
+            rewrite::RewriteEngine engine{ir::Circuit(c)};
+            int committed = 0;
+            for (int step = 0; step < 200; ++step) {
+                const rewrite::RewriteRule &rule =
+                    rules[rng.index(rules.size())];
+                const std::size_t anchor =
+                    c.empty() ? 0 : rng.index(c.size());
+                rewrite::PassResult legacy =
+                    rewrite::applyRulePass(c, rule, anchor);
+                auto att = engine.preparePass(rule, anchor);
+                if (legacy.applications == 0) {
+                    ASSERT_FALSE(att.has_value())
+                        << rule.name() << " anchor " << anchor;
+                    continue;
+                }
+                ASSERT_TRUE(att.has_value())
+                    << rule.name() << " anchor " << anchor;
+                EXPECT_EQ(att->applications, legacy.applications);
+                // The lazily materialized candidate is the legacy
+                // circuit, and committing adopts it.
+                EXPECT_TRUE(sameGates(engine.candidate(),
+                                      legacy.circuit));
+                EXPECT_EQ(att->counts, legacy.circuit.counts());
+                engine.commit();
+                ++committed;
+                c = legacy.circuit;
+                ASSERT_TRUE(sameGates(engine.circuit(), c));
+                if (committed % 8 == 0)
+                    engine.checkInvariants();
+            }
+            engine.checkInvariants();
+            EXPECT_GT(committed, 0) << "no rule ever fired for set "
+                                    << ir::gateSetName(set);
+        }
+    }
+}
+
+TEST(RewriteEngineDifferential, RandomAnchorConsumesSameDraws)
+{
+    const ir::GateSetKind set = ir::GateSetKind::Nam;
+    const auto &rules = rewrite::rulesFor(set);
+    support::Rng build(7);
+    ir::Circuit c = testutil::randomNativeCircuit(set, 6, 80, build);
+
+    support::Rng rng_legacy(99);
+    support::Rng rng_engine(99);
+    rewrite::RewriteEngine engine{ir::Circuit(c)};
+    for (int step = 0; step < 300; ++step) {
+        const std::size_t ri = rng_legacy.index(rules.size());
+        ASSERT_EQ(ri, rng_engine.index(rules.size()));
+        rewrite::PassResult legacy =
+            rewrite::applyRulePassRandom(c, rules[ri], rng_legacy);
+        auto att = engine.preparePassRandom(rules[ri], rng_engine);
+        if (legacy.applications == 0) {
+            ASSERT_FALSE(att.has_value());
+        } else {
+            ASSERT_TRUE(att.has_value());
+            engine.commit();
+            c = std::move(legacy.circuit);
+            ASSERT_TRUE(sameGates(engine.circuit(), c));
+        }
+        // Identical draw counts => the streams stay in lockstep.
+        ASSERT_EQ(rng_legacy(), rng_engine());
+    }
+}
+
+TEST(RewriteEngineDifferential, DiscardLeavesCircuitAndIndexUntouched)
+{
+    const ir::GateSetKind set = ir::GateSetKind::IbmEagle;
+    const auto &rules = rewrite::rulesFor(set);
+    support::Rng rng(5);
+    const ir::Circuit c = testutil::randomNativeCircuit(set, 5, 60, rng);
+    rewrite::RewriteEngine engine{ir::Circuit(c)};
+    int discarded = 0;
+    for (int step = 0; step < 120; ++step) {
+        const rewrite::RewriteRule &rule = rules[rng.index(rules.size())];
+        auto att = engine.preparePassRandom(rule, rng);
+        if (!att)
+            continue;
+        if (step % 2 == 0)
+            (void)engine.candidate(); // materialize, then throw away
+        engine.discard();
+        ++discarded;
+        ASSERT_TRUE(sameGates(engine.circuit(), c));
+    }
+    engine.checkInvariants();
+    EXPECT_EQ(engine.counts(), c.counts());
+    EXPECT_GT(discarded, 0);
+}
+
+TEST(RewriteEngineDifferential, FixpointMatchesLegacyRoundRobin)
+{
+    for (const ir::GateSetKind set : kAllSets) {
+        const auto &rules = rewrite::rulesFor(set);
+        support::Rng rng(31 + static_cast<std::uint64_t>(set));
+        const ir::Circuit c =
+            testutil::randomNativeCircuit(set, 5, 80, rng);
+
+        // The legacy loop, verbatim from the pre-engine applier.
+        ir::Circuit expect = c;
+        for (int round = 0; round < 64; ++round) {
+            int fired = 0;
+            for (const rewrite::RewriteRule &rule : rules) {
+                rewrite::PassResult r =
+                    rewrite::applyRulePass(expect, rule, 0);
+                if (r.applications > 0) {
+                    expect = std::move(r.circuit);
+                    fired += r.applications;
+                }
+            }
+            if (fired == 0)
+                break;
+        }
+
+        EXPECT_TRUE(sameGates(
+            rewrite::applyRulesToFixpoint(c, rules), expect))
+            << "set " << ir::gateSetName(set);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cached counters.
+// ---------------------------------------------------------------------
+
+TEST(RewriteEngineCounts, DeltaCountersTrackScansAcrossCommits)
+{
+    const ir::GateSetKind set = ir::GateSetKind::CliffordT;
+    const auto &rules = rewrite::rulesFor(set);
+    const fidelity::ErrorModel &model = fidelity::errorModelFor(set);
+    support::Rng rng(13);
+    ir::Circuit c = testutil::randomNativeCircuit(set, 5, 70, rng);
+
+    rewrite::RewriteEngine engine{ir::Circuit(c)};
+    engine.setGateLogCost([&model](const ir::Gate &g) {
+        return -std::log1p(-model.gateError(g));
+    });
+    int committed = 0;
+    for (int step = 0; step < 250 && committed < 40; ++step) {
+        const rewrite::RewriteRule &rule = rules[rng.index(rules.size())];
+        auto att = engine.preparePassRandom(rule, rng);
+        if (!att)
+            continue;
+        engine.commit();
+        ++committed;
+        ASSERT_EQ(engine.counts(), engine.circuit().counts());
+        double fresh = 0;
+        for (const ir::Gate &g : engine.circuit().gates())
+            fresh += -std::log1p(-model.gateError(g));
+        ASSERT_NEAR(engine.fidelityLogCost(), fresh, 1e-12);
+    }
+    engine.checkInvariants();
+    EXPECT_GT(committed, 0);
+}
+
+TEST(RewriteEngineCounts, AssignReindexesWholesale)
+{
+    support::Rng rng(3);
+    const ir::Circuit a = testutil::randomNativeCircuit(
+        ir::GateSetKind::Nam, 4, 30, rng);
+    const ir::Circuit b = testutil::randomNativeCircuit(
+        ir::GateSetKind::Nam, 6, 50, rng);
+    rewrite::RewriteEngine engine{ir::Circuit(a)};
+    engine.assign(ir::Circuit(b));
+    EXPECT_TRUE(sameGates(engine.circuit(), b));
+    EXPECT_EQ(engine.counts(), b.counts());
+    engine.checkInvariants();
+}
+
+// ---------------------------------------------------------------------
+// Invariant death tests: corruption must be loud.
+// ---------------------------------------------------------------------
+
+TEST(RewriteEngineDeath, CheckInvariantsCatchesTamperedGateList)
+{
+    support::Rng rng(8);
+    const ir::Circuit c = testutil::randomNativeCircuit(
+        ir::GateSetKind::Nam, 4, 20, rng);
+    rewrite::RewriteEngine engine{ir::Circuit(c)};
+    engine.checkInvariants(); // sanity: clean engine passes
+    // Mutating the working circuit behind the engine's back stales
+    // counters, buckets, and wire links at once.
+    const_cast<ir::Circuit &>(engine.circuit()).gates().pop_back();
+    EXPECT_DEATH(engine.checkInvariants(), "RewriteEngine");
+}
+
+TEST(RewriteEngineDeath, CheckInvariantsCatchesRewiredGate)
+{
+    ir::Circuit c(3);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.h(0);
+    rewrite::RewriteEngine engine{ir::Circuit(c)};
+    // Same kind and counts, different wires: only the DAG/bucket
+    // revalidation can see it.
+    const_cast<ir::Circuit &>(engine.circuit()).gates()[1] =
+        ir::Gate(ir::GateKind::CX, {0, 2});
+    EXPECT_DEATH(engine.checkInvariants(), "RewriteEngine");
+}
+
+TEST(RewriteEngineDeath, UnresolvedPassRefusesNextPass)
+{
+    const ir::GateSetKind set = ir::GateSetKind::Nam;
+    const auto &rules = rewrite::rulesFor(set);
+    support::Rng rng(21);
+    const ir::Circuit c = testutil::randomNativeCircuit(set, 5, 60, rng);
+    rewrite::RewriteEngine engine{ir::Circuit(c)};
+    support::Rng draws(4);
+    for (int step = 0; step < 400; ++step) {
+        const rewrite::RewriteRule &rule =
+            rules[draws.index(rules.size())];
+        if (engine.preparePassRandom(rule, draws)) {
+            EXPECT_DEATH(engine.preparePass(rule, 0), "pending");
+            return;
+        }
+    }
+    FAIL() << "no rule ever fired";
+}
+
+// ---------------------------------------------------------------------
+// Fixed-seed determinism pins: fingerprints of core::optimize() runs
+// captured on the pre-engine implementation. The engine swap (and any
+// future engine change) must keep these bit-for-bit.
+// ---------------------------------------------------------------------
+
+std::uint64_t
+fingerprint(const core::GuoqResult &r)
+{
+    const std::string sig =
+        r.best.toString() + "|a=" + std::to_string(r.stats.accepted) +
+        "|u=" + std::to_string(r.stats.uphillAccepted) +
+        "|r=" + std::to_string(r.stats.rejected) +
+        "|n=" + std::to_string(r.stats.noops) +
+        "|w=" + std::to_string(r.stats.rewriteApplications);
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char ch : sig) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+struct GoldenRun
+{
+    const char *tag;
+    ir::GateSetKind set;
+    core::Objective objective;
+    std::uint64_t circuitSeed;
+    int qubits;
+    int gates;
+    std::uint64_t seed;
+    long iterations;
+    std::uint64_t want;
+};
+
+TEST(RewriteEngineGolden, FixedSeedOptimizeUnchangedSincePreEngine)
+{
+    const std::vector<GoldenRun> runs = {
+        {"nam_gate", ir::GateSetKind::Nam, core::Objective::GateCount,
+         101, 6, 40, 11, 4000, 0x1a7b2b53d2e1c1b9ull},
+        {"eagle_2q", ir::GateSetKind::IbmEagle,
+         core::Objective::TwoQubitCount, 102, 5, 60, 3, 4000,
+         0x85d84a6e7b28d6f9ull},
+        {"ct_t", ir::GateSetKind::CliffordT, core::Objective::TCount,
+         103, 4, 50, 5, 3000, 0xec99d7fa6e21bb07ull},
+        {"ionq_fid", ir::GateSetKind::IonQ, core::Objective::Fidelity,
+         104, 4, 40, 9, 2000, 0x56df2a77306b0d0dull},
+        {"ibmq20_depth", ir::GateSetKind::Ibmq20, core::Objective::Depth,
+         105, 5, 40, 13, 2000, 0x5b7c41ec5e4f7a76ull},
+    };
+    for (const GoldenRun &g : runs) {
+        support::Rng crng(g.circuitSeed);
+        const ir::Circuit c = testutil::randomNativeCircuit(
+            g.set, g.qubits, g.gates, crng);
+        core::GuoqConfig cfg;
+        cfg.objective = g.objective;
+        cfg.seed = g.seed;
+        cfg.maxIterations = g.iterations;
+        cfg.timeBudgetSeconds = 60.0;
+        cfg.epsilonTotal = 0;
+        cfg.synthWorkers = 0;
+        const core::GuoqResult r = core::optimize(c, g.set, cfg);
+        EXPECT_EQ(fingerprint(r), g.want) << g.tag;
+    }
+}
+
+// The lazy best-copy must preserve report semantics exactly: best is
+// frozen at the last *strict* improvement even when later equal-cost
+// moves are accepted.
+TEST(RewriteEngineGolden, LazyBestMatchesTraceAndCost)
+{
+    support::Rng crng(77);
+    const ir::Circuit c = testutil::randomNativeCircuit(
+        ir::GateSetKind::Nam, 6, 60, crng);
+    core::GuoqConfig cfg;
+    cfg.objective = core::Objective::GateCount;
+    cfg.seed = 19;
+    cfg.maxIterations = 3000;
+    cfg.timeBudgetSeconds = 60.0;
+    cfg.recordTrace = true;
+    const core::CostFunction cost(cfg.objective, ir::GateSetKind::Nam);
+    const core::GuoqResult r =
+        core::optimize(c, ir::GateSetKind::Nam, cfg);
+    ASSERT_FALSE(r.trace.empty());
+    const core::TracePoint &last = r.trace.back();
+    EXPECT_EQ(cost(r.best), last.cost);
+    EXPECT_EQ(r.best.gateCount(), last.gateCount);
+    EXPECT_EQ(r.best.twoQubitGateCount(), last.twoQubitCount);
+    EXPECT_EQ(r.best.tGateCount(), last.tCount);
+    EXPECT_LE(cost(r.best), cost(c));
+}
+
+} // namespace
